@@ -1,0 +1,106 @@
+// Command attack-demo runs the security demonstrations of Sec. VI on the
+// event-driven simulator:
+//
+//   - the LLC port attack (Fig. 11): an attacker times its own accesses to
+//     one bank and observes queueing delay whenever the victim touches the
+//     same bank — no shared cache contents required;
+//   - the conflict (prime+probe) attack and its defenses;
+//   - the DRRIP set-dueling performance-leakage channel (Sec. VI-C).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jumanji/internal/harness"
+	"jumanji/internal/security"
+)
+
+func main() {
+	which := flag.String("attack", "all", "attack to demonstrate: port, conflict, dueling, or all")
+	flag.Parse()
+
+	switch *which {
+	case "port":
+		portDemo()
+	case "conflict":
+		conflictDemo()
+	case "dueling":
+		duelingDemo()
+	case "all":
+		portDemo()
+		conflictDemo()
+		duelingDemo()
+	default:
+		fmt.Fprintf(os.Stderr, "attack-demo: unknown attack %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+func portDemo() {
+	harness.Fig11(harness.QuickOptions()).Render(os.Stdout)
+
+	fmt.Println("\nDefense comparison (attacker's same-bank signal in cycles):")
+	fmt.Printf("%-20s %10s\n", "defense", "signal")
+	for _, d := range []struct {
+		name string
+		def  security.PortDefense
+	}{
+		{"none", security.PortNoDefense},
+		{"way-partitioning", security.PortWayPartition},
+		{"bank isolation", security.PortBankIsolation},
+	} {
+		fmt.Printf("%-20s %10.2f\n", d.name, security.ComparePortDefenses(d.def))
+	}
+	fmt.Println("Way-partitioning leaves the port channel wide open (Sec. VI-A ②);")
+	fmt.Println("only physically separate banks close it.")
+}
+
+func conflictDemo() {
+	fmt.Println("\n=== Conflict attack (prime+probe) ===")
+	fmt.Println("Attacker primes a cache set, victim runs, attacker probes for evictions.")
+	fmt.Printf("%-18s %18s %18s\n", "defense", "victim idle", "victim active")
+	for _, d := range []struct {
+		name string
+		def  security.Defense
+	}{
+		{"none", security.NoDefense},
+		{"way-partitioning", security.WayPartition},
+		{"bank isolation", security.BankIsolation},
+	} {
+		idle := security.PrimeProbe(d.def, 0)
+		active := security.PrimeProbe(d.def, 6)
+		fmt.Printf("%-18s %15d ev %15d ev\n", d.name, idle.ProbeMisses, active.ProbeMisses)
+	}
+	fmt.Println("Non-zero evictions with an active victim = the attacker sees the access pattern.")
+
+	fmt.Println("\nEnd-to-end secret recovery (victim does one table lookup indexed by a secret):")
+	fmt.Printf("%-18s %12s %12s\n", "defense", "secret", "recovered")
+	for _, d := range []struct {
+		name string
+		def  security.Defense
+	}{
+		{"none", security.NoDefense},
+		{"way-partitioning", security.WayPartition},
+		{"bank isolation", security.BankIsolation},
+	} {
+		r := security.RecoverSecret(d.def, 11)
+		got := "no"
+		if r.Recovered {
+			got = fmt.Sprintf("yes (guessed %d)", r.Guessed)
+		}
+		fmt.Printf("%-18s %12d %12s\n", d.name, r.Actual, got)
+	}
+}
+
+func duelingDemo() {
+	fmt.Println("\n=== Set-dueling performance leakage (Sec. VI-C) ===")
+	r := security.RunDuelingLeakage(2000)
+	fmt.Printf("victim hit rate alone:             %.3f\n", r.HitRateAlone)
+	fmt.Printf("victim hit rate with co-runner:    %.3f\n", r.HitRateWithThrasher)
+	fmt.Printf("leakage (hit-rate change):         %.3f\n", r.Leakage())
+	fmt.Println("The co-runner shares no lines and no ways with the victim — only the")
+	fmt.Println("bank-global DRRIP set-dueling counters. Way-partitioning cannot stop this;")
+	fmt.Println("Jumanji's bank isolation does.")
+}

@@ -1,0 +1,107 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation as text tables. Each experiment reports the same rows/series
+// the paper plots; EXPERIMENTS.md records how they compare.
+//
+// Examples:
+//
+//	figures -fig 13            # main results, quick protocol
+//	figures -fig 8 -paper      # Fig. 8 at the paper's scale
+//	figures -table 1
+//	figures -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jumanji/internal/harness"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure number to regenerate (4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18)")
+		table = flag.Int("table", 0, "table number to regenerate (1, 2, 3)")
+		all   = flag.Bool("all", false, "regenerate everything")
+		paper = flag.Bool("paper", false, "use the paper's protocol scale (40 mixes; slow)")
+		toCSV = flag.Bool("csv", false, "emit the figure's series as CSV (figures 4, 8, 12, 17, 18)")
+	)
+	flag.Parse()
+
+	o := harness.QuickOptions()
+	if *paper {
+		o = harness.PaperOptions()
+	}
+
+	if *all {
+		for _, f := range []int{4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18} {
+			renderFig(f, o)
+		}
+		for _, t := range []int{1, 2, 3} {
+			renderTable(t, o)
+		}
+		return
+	}
+	switch {
+	case *fig != 0 && *toCSV:
+		if err := harness.CSV(os.Stdout, *fig, o); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+	case *fig != 0:
+		renderFig(*fig, o)
+	case *table != 0:
+		renderTable(*table, o)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func renderFig(n int, o harness.Options) {
+	w := os.Stdout
+	switch n {
+	case 4:
+		harness.Fig4(o).Render(w)
+	case 5:
+		harness.RenderFig5(w, harness.Fig5(o))
+	case 8:
+		harness.RenderFig8(w, harness.Fig8(o))
+	case 9:
+		harness.RenderFig9(w, harness.Fig9(o))
+	case 11:
+		harness.Fig11(o).Render(w)
+	case 12:
+		harness.Fig12(o).Render(w)
+	case 13:
+		harness.Fig13(o).Render(w)
+	case 14:
+		harness.RenderFig14(w, harness.Fig14(o))
+	case 15:
+		harness.RenderFig15(w, harness.Fig15(o))
+	case 16:
+		harness.RenderFig16(w, harness.Fig16(o))
+	case 17:
+		harness.RenderFig17(w, harness.Fig17(o))
+	case 18:
+		harness.RenderFig18(w, harness.Fig18(o))
+	default:
+		fmt.Fprintf(os.Stderr, "figures: no figure %d (the paper's evaluation figures are 4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18)\n", n)
+		os.Exit(2)
+	}
+}
+
+func renderTable(n int, o harness.Options) {
+	w := os.Stdout
+	switch n {
+	case 1:
+		harness.RenderTable1(w, harness.Table1(o))
+	case 2:
+		harness.RenderTable2(w)
+	case 3:
+		harness.RenderTable3(w)
+	default:
+		fmt.Fprintf(os.Stderr, "figures: no table %d\n", n)
+		os.Exit(2)
+	}
+}

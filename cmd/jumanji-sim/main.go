@@ -1,0 +1,128 @@
+// Command jumanji-sim runs one LLC-design simulation over a datacenter
+// workload and prints the resulting metrics: per-application tail latency
+// and allocation, batch weighted speedup, security vulnerability, and the
+// energy breakdown.
+//
+// Examples:
+//
+//	jumanji-sim -design jumanji -lc xapian
+//	jumanji-sim -design jigsaw -lc mixed -load low -epochs 120
+//	jumanji-sim -design all -vms 12 -seed 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jumanji"
+)
+
+func main() {
+	var (
+		designFlag = flag.String("design", "jumanji", "design to run: static, adaptive, vm-part, jigsaw, jumanji, insecure, ideal, or 'all'")
+		lc         = flag.String("lc", "xapian", "latency-critical app (masstree, xapian, img-dnn, silo, moses) or 'mixed'")
+		load       = flag.String("load", "high", "latency-critical load: high (~50% util) or low (~10%)")
+		epochs     = flag.Int("epochs", 60, "number of 100 ms reconfiguration epochs")
+		warmup     = flag.Int("warmup", 20, "epochs excluded from statistics")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		vms        = flag.Int("vms", 4, "VM count: 4 runs the standard case study; 1, 2, 5, 10, 12 run the Fig. 17 splits")
+		router     = flag.Int("router", 2, "NoC router delay in cycles (1-3)")
+		perApp     = flag.Bool("apps", false, "print per-application metrics")
+		asJSON     = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+
+	opts := jumanji.DefaultOptions()
+	opts.Epochs, opts.Warmup, opts.Seed = *epochs, *warmup, *seed
+	opts.RouterDelay = *router
+	opts.HighLoad = *load != "low"
+
+	build := workloadBuilder(*lc, *vms, *seed)
+
+	var designs []jumanji.Design
+	if strings.EqualFold(*designFlag, "all") {
+		designs = jumanji.AllDesigns()
+	} else {
+		d, err := jumanji.ParseDesign(*designFlag)
+		if err != nil {
+			fatal(err)
+		}
+		designs = []jumanji.Design{d}
+	}
+
+	results, err := jumanji.Compare(opts, build, designs...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		type jsonResult struct {
+			Design          string               `json:"design"`
+			TailVsDeadline  float64              `json:"tail_vs_deadline"`
+			SpeedupVsStatic float64              `json:"speedup_vs_static"`
+			Vulnerability   float64              `json:"vulnerability"`
+			EnergyNJ        float64              `json:"energy_nj"`
+			Apps            []jumanji.AppMetrics `json:"apps,omitempty"`
+		}
+		out := make([]jsonResult, len(results))
+		for i, r := range results {
+			out[i] = jsonResult{
+				Design:          r.Design.String(),
+				TailVsDeadline:  r.WorstNormTail,
+				SpeedupVsStatic: r.SpeedupVsStatic,
+				Vulnerability:   r.Vulnerability,
+				EnergyNJ:        r.Energy.Total(),
+			}
+			if *perApp {
+				out[i].Apps = r.Apps
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("%-22s %14s %14s %14s %12s\n",
+		"design", "tail/deadline", "speedup", "vulnerability", "energy (mJ)")
+	for _, r := range results {
+		fmt.Printf("%-22s %14.2f %14.3f %14.2f %12.2f\n",
+			r.Design, r.WorstNormTail, r.SpeedupVsStatic, r.Vulnerability, r.Energy.Total()/1e6)
+	}
+	if *perApp {
+		for _, r := range results {
+			fmt.Printf("\n--- %s ---\n", r.Design)
+			fmt.Printf("%-16s %4s %6s %12s %10s %10s\n", "app", "vm", "type", "tail/ddl", "alloc MB", "hops")
+			for _, a := range r.Apps {
+				kind := "batch"
+				tail := "-"
+				if a.LatencyCritical {
+					kind = "lc"
+					tail = fmt.Sprintf("%.2f", a.NormTail)
+				}
+				fmt.Printf("%-16s %4d %6s %12s %10.2f %10.2f\n",
+					a.Name, a.VM, kind, tail, a.AllocMB, a.MeanHops)
+			}
+		}
+	}
+}
+
+func workloadBuilder(lc string, vms int, seed int64) func(jumanji.Options) (jumanji.Workload, error) {
+	if vms != 4 {
+		return jumanji.Scaling(vms, seed)
+	}
+	if strings.EqualFold(lc, "mixed") {
+		return jumanji.MixedCaseStudy(seed)
+	}
+	return jumanji.CaseStudy(lc, seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jumanji-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command validate cross-checks the analytic epoch model against the
+// detailed trace-driven simulator: it runs four applications with distinct
+// reuse patterns (uniform working set, streaming scan, Zipfian, pointer
+// chase) through the full cache hierarchy under a real placer, then
+// compares the model's two load-bearing predictions — miss ratio at the
+// granted allocation, and NoC distance to data — against what the caches
+// actually did. Small errors here are what justify using the fast epoch
+// model for the paper's large sweeps (DESIGN.md §1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jumanji/internal/core"
+	"jumanji/internal/driver"
+)
+
+func main() {
+	var (
+		placerName = flag.String("placer", "jumanji", "placer to validate under: jumanji, jigsaw")
+		epochs     = flag.Int("epochs", 6, "reconfiguration epochs to run")
+	)
+	flag.Parse()
+
+	var placer core.Placer
+	switch *placerName {
+	case "jumanji":
+		placer = core.JumanjiPlacer{}
+	case "jigsaw":
+		placer = core.JigsawPlacer{}
+	default:
+		fmt.Fprintf(os.Stderr, "validate: unknown placer %q\n", *placerName)
+		os.Exit(2)
+	}
+
+	cfg := driver.StandardValidationConfig(placer)
+	rows, err := driver.Validate(cfg, *epochs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Detailed-vs-model cross-check under %s (%d epochs):\n\n", placer.Name(), *epochs)
+	driver.RenderValidation(os.Stdout, rows)
+	fmt.Println()
+	fmt.Println("miss(pred): UMON-profiled curve evaluated at the granted allocation")
+	fmt.Println("miss(meas): actual LLC miss ratio in the trace-driven hierarchy")
+	fmt.Println("hops(pred): capacity-weighted placement distance; hops(meas): NoC ground truth")
+}

@@ -1,0 +1,56 @@
+package jumanji_test
+
+import (
+	"fmt"
+
+	"jumanji"
+)
+
+// ExampleCompare runs the case study under Static and Jumanji and prints
+// the qualitative outcome. Results are deterministic for a fixed seed.
+func ExampleCompare() {
+	opts := jumanji.DefaultOptions()
+	opts.Epochs, opts.Warmup = 40, 15
+	results, err := jumanji.Compare(opts, jumanji.CaseStudy("xapian", 1),
+		jumanji.Static, jumanji.Jumanji)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ju := results[1]
+	fmt.Printf("speedup > 1.05: %v\n", ju.SpeedupVsStatic > 1.05)
+	fmt.Printf("meets deadlines: %v\n", ju.MeetsDeadlines(1.2))
+	fmt.Printf("bank-isolated: %v\n", ju.Vulnerability == 0)
+	// Output:
+	// speedup > 1.05: true
+	// meets deadlines: true
+	// bank-isolated: true
+}
+
+// ExampleParseDesign resolves design names, including aliases.
+func ExampleParseDesign() {
+	d, _ := jumanji.ParseDesign("vm-part")
+	fmt.Println(d)
+	d, _ = jumanji.ParseDesign("ideal")
+	fmt.Println(d)
+	// Output:
+	// VM-Part
+	// Jumanji: Ideal Batch
+}
+
+// ExampleTailVsAllocation shows the Fig. 8 sweep: D-NUCA meets the deadline
+// with less space than S-NUCA.
+func ExampleTailVsAllocation() {
+	opts := jumanji.DefaultOptions()
+	opts.Epochs, opts.Warmup = 40, 15
+	pts, err := jumanji.TailVsAllocation(opts, "xapian", []float64{2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p := pts[0]
+	fmt.Printf("at 2 MB: D-NUCA meets deadline: %v; S-NUCA meets deadline: %v\n",
+		p.NormTailDNUCA <= 1, p.NormTailSNUCA <= 1)
+	// Output:
+	// at 2 MB: D-NUCA meets deadline: true; S-NUCA meets deadline: false
+}

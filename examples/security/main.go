@@ -1,0 +1,48 @@
+// Security: demonstrates the LLC port attack of Sec. VI-B and shows how
+// bank isolation closes it. An attacker repeatedly accesses one LLC bank
+// and times itself; whenever a victim floods the same bank, the attacker's
+// accesses queue behind the victim's at the bank port. The victim uses
+// entirely different cache sets — way-partitioning is no defense.
+//
+// The example then compares each LLC design's exposure: the average number
+// of untrusted applications that could mount this attack against a victim's
+// accesses (Fig. 14).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jumanji"
+)
+
+func main() {
+	fmt.Println("LLC port attack (Fig. 11): attacker mean access latency by victim state")
+	rep := jumanji.PortAttackDemo(true)
+	fmt.Printf("  victim idle:                 %6.1f cycles\n", rep.Idle)
+	fmt.Printf("  victim flooding other banks: %6.1f cycles (NoC contention)\n", rep.OtherBank)
+	fmt.Printf("  victim flooding SAME bank:   %6.1f cycles (port queueing -> leak)\n", rep.SameBank)
+	fmt.Printf("  samples collected:           %d\n", len(rep.Samples))
+	fmt.Println()
+	fmt.Println("The attacker observes victim activity with zero shared cache lines.")
+	fmt.Println()
+
+	opts := jumanji.DefaultOptions()
+	opts.Epochs, opts.Warmup = 40, 15
+	results, err := jumanji.Compare(opts, jumanji.MixedCaseStudy(3),
+		jumanji.Adaptive, jumanji.VMPart, jumanji.Jigsaw, jumanji.Jumanji)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Exposure by design (potential attackers per LLC access, Fig. 14):")
+	for _, r := range results {
+		bar := ""
+		for i := 0; i < int(r.Vulnerability+0.5); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-22s %6.2f %s\n", r.Design, r.Vulnerability, bar)
+	}
+	fmt.Println()
+	fmt.Println("S-NUCA designs expose every access to all 15 untrusted apps. Jigsaw's")
+	fmt.Println("locality is a happy accident; Jumanji enforces zero sharing by design.")
+}

@@ -1,0 +1,3 @@
+module jumanji
+
+go 1.22

@@ -1,0 +1,82 @@
+package cache
+
+import (
+	"testing"
+
+	"jumanji/internal/sim"
+	"jumanji/internal/topo"
+)
+
+func TestTimedLLCLocalAccess(t *testing.T) {
+	var e sim.Engine
+	mesh := topo.NewMesh(2, 2)
+	llc := NewTimed(&e, DefaultTimedConfig(mesh))
+	var res Result
+	llc.Access(0, 0, 0x1000, 0, func(r Result) { res = r })
+	e.RunAll()
+	// Local bank: no NoC, just the 13-cycle bank latency.
+	if res.Latency != 13 {
+		t.Errorf("local access latency = %d, want 13", res.Latency)
+	}
+	if res.Hit {
+		t.Error("cold access should miss")
+	}
+}
+
+func TestTimedLLCRemoteAccessPaysNoC(t *testing.T) {
+	var e sim.Engine
+	mesh := topo.NewMesh(2, 2)
+	cfg := DefaultTimedConfig(mesh)
+	llc := NewTimed(&e, cfg)
+	var local, remote sim.Time
+	llc.Access(0, 0, 0x1000, 0, func(r Result) { local = r.Latency })
+	e.RunAll()
+	llc.Access(0, 3, 0x2000, 0, func(r Result) { remote = r.Latency })
+	e.RunAll()
+	if remote <= local {
+		t.Errorf("remote access (%d) should cost more than local (%d)", remote, local)
+	}
+}
+
+func TestTimedLLCPortContentionVisibleToAttacker(t *testing.T) {
+	// The essence of the port attack: an attacker's accesses to a bank take
+	// longer when a victim is hammering the same bank.
+	measure := func(victimActive bool) sim.Time {
+		var e sim.Engine
+		mesh := topo.NewMesh(2, 2)
+		llc := NewTimed(&e, DefaultTimedConfig(mesh))
+		var total sim.Time
+		n := 50
+		for i := 0; i < n; i++ {
+			addr := uint64(i) * 64
+			llc.Access(0, 3, addr, 0, func(r Result) { total += r.Latency })
+			if victimActive {
+				llc.Access(1, 3, 0x100000+uint64(i)*64, 1, nil)
+			}
+		}
+		e.RunAll()
+		return total / sim.Time(n)
+	}
+	quiet := measure(false)
+	noisy := measure(true)
+	if noisy <= quiet {
+		t.Errorf("attacker latency with victim (%d) should exceed quiet (%d)", noisy, quiet)
+	}
+}
+
+func TestTimedLLCHitsOnSecondAccess(t *testing.T) {
+	var e sim.Engine
+	llc := NewTimed(&e, DefaultTimedConfig(topo.NewMesh(2, 2)))
+	hits := 0
+	llc.Access(0, 0, 0x40, 0, nil)
+	e.RunAll()
+	llc.Access(0, 0, 0x40, 0, func(r Result) {
+		if r.Hit {
+			hits++
+		}
+	})
+	e.RunAll()
+	if hits != 1 {
+		t.Error("second access should hit")
+	}
+}

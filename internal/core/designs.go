@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"jumanji/internal/lookahead"
+	"jumanji/internal/mrc"
+)
+
+// StaticPlacer is the naïve baseline all results are normalized to
+// (Sec. VII): each latency-critical application is allocated four ways of
+// the LLC via way-partitioning, and all batch applications share the
+// remaining ways unpartitioned. S-NUCA: everything striped over all banks.
+type StaticPlacer struct {
+	// LatCritWays is the fixed per-LC-app way allocation (default 4).
+	LatCritWays int
+}
+
+// Name implements Placer.
+func (StaticPlacer) Name() string { return "Static" }
+
+// Place implements Placer.
+func (s StaticPlacer) Place(in *Input) *Placement {
+	mustValidate(in)
+	ways := s.LatCritWays
+	if ways == 0 {
+		ways = 4
+	}
+	pl := NewPlacement(in.Machine)
+	lat := in.LatCritApps()
+	usedWays := 0
+	for _, app := range lat {
+		bytes := float64(ways) * in.Machine.WayBytes() * float64(in.Machine.Banks())
+		stripe(in, pl, app, bytes)
+		usedWays += ways
+	}
+	poolWays := in.Machine.WaysPerBank - usedWays
+	if poolWays < 1 {
+		panic(fmt.Sprintf("core: Static design has no ways left for batch (%d LC apps × %d ways)", len(lat), ways))
+	}
+	placeSharedBatchPool(in, pl, in.BatchApps(), float64(poolWays))
+	return pl
+}
+
+// AdaptivePlacer is the Adaptive design (Sec. III): S-NUCA with the
+// latency-critical allocations tuned by feedback control (Input.LatSizes)
+// and batch data left unpartitioned to preserve associativity.
+type AdaptivePlacer struct{}
+
+// Name implements Placer.
+func (AdaptivePlacer) Name() string { return "Adaptive" }
+
+// Place implements Placer.
+func (AdaptivePlacer) Place(in *Input) *Placement {
+	mustValidate(in)
+	pl := NewPlacement(in.Machine)
+	poolWays := placeAdaptiveLatCrit(in, pl)
+	placeSharedBatchPool(in, pl, in.BatchApps(), poolWays)
+	return pl
+}
+
+// VMPartPlacer is the VM-Part design (Sec. III): Adaptive plus per-VM
+// partitioning of batch data within every bank, defending conflict attacks
+// across VMs at the cost of associativity.
+type VMPartPlacer struct{}
+
+// Name implements Placer.
+func (VMPartPlacer) Name() string { return "VM-Part" }
+
+// Place implements Placer.
+func (VMPartPlacer) Place(in *Input) *Placement {
+	mustValidate(in)
+	pl := NewPlacement(in.Machine)
+	poolWays := placeAdaptiveLatCrit(in, pl)
+
+	// Divide the batch ways among VMs by lookahead over each VM's combined
+	// batch miss curve; quantum is one way across all banks.
+	vms := in.VMs()
+	var reqs []lookahead.Request
+	var vmsWithBatch []VMID
+	for _, vm := range vms {
+		_, batch := in.AppsOf(vm)
+		if len(batch) == 0 {
+			continue
+		}
+		vmsWithBatch = append(vmsWithBatch, vm)
+		reqs = append(reqs, lookahead.Request{
+			Curve: combinedBatchCurve(in, batch),
+			Min:   wayStripeBytes(in), // every VM keeps at least one way
+			Step:  wayStripeBytes(in),
+		})
+	}
+	sizes := lookahead.Allocate(poolWays*wayStripeBytes(in), reqs)
+	for i, vm := range vmsWithBatch {
+		_, batch := in.AppsOf(vm)
+		vmWaysPerBank := sizes[i] / wayStripeBytes(in)
+		split := sharedPoolSplit(in, batch, sizes[i])
+		for _, app := range batch {
+			stripe(in, pl, app, split[app])
+			pl.Unpartitioned[app] = true
+			pl.GroupWays[app] = vmWaysPerBank
+		}
+	}
+	return pl
+}
+
+// placeAdaptiveLatCrit stripes each latency-critical app's feedback-set
+// allocation across all banks and returns the ways per bank left for batch.
+// If the controllers collectively ask for more than the LLC can give while
+// keeping one way per bank for batch, all latency-critical allocations are
+// scaled down proportionally.
+func placeAdaptiveLatCrit(in *Input, pl *Placement) float64 {
+	lat := in.LatCritApps()
+	sizes := make([]float64, len(lat))
+	total := 0.0
+	for i, app := range lat {
+		sizes[i] = in.LatSizes[app]
+		if min := wayStripeBytes(in); sizes[i] < min {
+			sizes[i] = min
+		}
+		total += sizes[i]
+	}
+	if budget := in.Machine.TotalBytes() - wayStripeBytes(in); total > budget {
+		scale := budget / total
+		for i := range sizes {
+			sizes[i] *= scale
+		}
+		total = budget
+	}
+	for i, app := range lat {
+		stripe(in, pl, app, sizes[i])
+	}
+	poolWays := float64(in.Machine.WaysPerBank) - total/wayStripeBytes(in)
+	if poolWays < 1 {
+		poolWays = 1
+	}
+	return poolWays
+}
+
+// placeSharedBatchPool splits poolWays (per bank) of unpartitioned capacity
+// among the batch apps by the natural-sharing model and stripes them.
+func placeSharedBatchPool(in *Input, pl *Placement, batch []AppID, poolWays float64) {
+	poolBytes := poolWays * wayStripeBytes(in)
+	split := sharedPoolSplit(in, batch, poolBytes)
+	for _, app := range batch {
+		stripe(in, pl, app, split[app])
+		pl.Unpartitioned[app] = true
+		pl.GroupWays[app] = poolWays
+	}
+}
+
+// wayStripeBytes is the bytes of one way striped across every bank — the
+// allocation quantum of S-NUCA way-partitioning (Intel CAT).
+func wayStripeBytes(in *Input) float64 {
+	return in.Machine.WayBytes() * float64(in.Machine.Banks())
+}
+
+// combinedBatchCurve builds the VM-combined absolute miss-rate curve using
+// the Whirlpool model (Sec. VI-D), on the way-stripe grid.
+func combinedBatchCurve(in *Input, batch []AppID) mrc.Curve {
+	curves := make([]mrc.Curve, len(batch))
+	for i, app := range batch {
+		curves[i] = in.Apps[app].MissRateCurve()
+	}
+	return mrc.Combine(curves...)
+}
+
+func mustValidate(in *Input) {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+}

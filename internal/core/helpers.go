@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+
+	"jumanji/internal/topo"
+)
+
+// sharedPoolSplit estimates how poolBytes of *unpartitioned* cache naturally
+// divides among the given applications under LRU-like sharing: occupancy is
+// proportional to each application's insertion rate (miss rate at its
+// current share), iterated to a fixed point. This models the batch pool of
+// the Static and Adaptive designs, where nothing enforces per-app shares.
+func sharedPoolSplit(in *Input, apps []AppID, poolBytes float64) map[AppID]float64 {
+	out := make(map[AppID]float64, len(apps))
+	if len(apps) == 0 || poolBytes <= 0 {
+		return out
+	}
+	// Start from an even split.
+	for _, a := range apps {
+		out[a] = poolBytes / float64(len(apps))
+	}
+	for iter := 0; iter < 30; iter++ {
+		total := 0.0
+		pressure := make(map[AppID]float64, len(apps))
+		for _, a := range apps {
+			spec := in.Apps[a]
+			// Insertion pressure = miss rate at current occupancy.
+			pr := spec.MissRatio.Eval(out[a]) * spec.AccessRate
+			if pr < 1e-9 {
+				pr = 1e-9 // idle apps keep a sliver (cold data lingers)
+			}
+			pressure[a] = pr
+			total += pr
+		}
+		for _, a := range apps {
+			// Damped update for stable convergence.
+			target := poolBytes * pressure[a] / total
+			out[a] = 0.5*out[a] + 0.5*target
+		}
+	}
+	return out
+}
+
+// stripe spreads bytes for app uniformly over all banks (the S-NUCA
+// placement used by Static, Adaptive and VM-Part).
+func stripe(in *Input, pl *Placement, app AppID, bytes float64) {
+	banks := in.Machine.Banks()
+	per := bytes / float64(banks)
+	for b := 0; b < banks; b++ {
+		pl.Add(app, topo.TileID(b), per)
+	}
+}
+
+// greedyFill places `size` bytes for app into the nearest banks (by hop
+// distance from the app's core) that appear in allowed (nil = all banks),
+// consuming balance. It returns the bytes that did not fit.
+func greedyFill(in *Input, pl *Placement, app AppID, size float64, balance []float64, allowed map[topo.TileID]bool) float64 {
+	spec := in.Apps[app]
+	remaining := size
+	for _, b := range in.Machine.Mesh.BanksByDistance(spec.Core) {
+		if remaining <= 1e-9 {
+			return 0
+		}
+		if allowed != nil && !allowed[b] {
+			continue
+		}
+		avail := balance[b]
+		if avail <= 0 {
+			continue
+		}
+		take := avail
+		if remaining < take {
+			take = remaining
+		}
+		pl.Add(app, b, take)
+		balance[b] -= take
+		remaining -= take
+	}
+	return remaining
+}
+
+// byDescendingRate returns the app IDs ordered by access intensity, densest
+// first — the order in which D-NUCA placers claim nearby banks so the
+// hottest data lands closest.
+func byDescendingRate(in *Input, apps []AppID) []AppID {
+	out := make([]AppID, len(apps))
+	copy(out, apps)
+	sort.SliceStable(out, func(i, j int) bool {
+		return in.Apps[out[i]].AccessRate > in.Apps[out[j]].AccessRate
+	})
+	return out
+}
+
+// vmDistance returns the minimum hop distance from bank b to any core
+// hosting an application of vm.
+func vmDistance(in *Input, vm VMID, b topo.TileID) int {
+	best := -1
+	for _, a := range in.Apps {
+		if a.VM != vm {
+			continue
+		}
+		d := in.Machine.Mesh.Hops(a.Core, b)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// newBalance returns a full per-bank capacity slice.
+func newBalance(m Machine) []float64 {
+	balance := make([]float64, m.Banks())
+	for i := range balance {
+		balance[i] = m.BankBytes
+	}
+	return balance
+}

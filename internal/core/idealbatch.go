@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+
+	"jumanji/internal/lookahead"
+	"jumanji/internal/topo"
+)
+
+// IdealBatchPlacer is the infeasible upper bound of Fig. 16 ("Jumanji:
+// Ideal Batch"): it eliminates competition between latency-critical and
+// batch applications by placing batch allocations in a *separate copy* of
+// the LLC, while keeping total allocated capacity within the original LLC
+// size. Latency-critical data is placed nearest-first in the real LLC;
+// batch data is placed in an overlay LLC whose banks are all empty, still
+// respecting per-VM bank isolation. The result is the best batch placement
+// any latency-critical-safe, VM-isolated design could hope for.
+type IdealBatchPlacer struct{}
+
+// Name implements Placer.
+func (IdealBatchPlacer) Name() string { return "Jumanji: Ideal Batch" }
+
+// Place implements Placer.
+func (IdealBatchPlacer) Place(in *Input) *Placement {
+	mustValidate(in)
+	pl := NewPlacement(in.Machine)
+	balance := newBalance(in.Machine)
+
+	latRes := latCritPlace(in, pl, balance, true)
+	if latRes.unplaced > 0 {
+		panic("core: Ideal Batch could not place latency-critical data")
+	}
+	latTotal := 0.0
+	for _, app := range in.LatCritApps() {
+		latTotal += pl.TotalOf(app)
+	}
+
+	// Batch budget = whatever capacity latency-critical data is not using,
+	// but spent inside a fresh overlay LLC.
+	budget := in.Machine.TotalBytes() - latTotal
+	overlay := newBalance(in.Machine)
+
+	// Per-VM bank-granular division of the overlay (VM isolation holds in
+	// the overlay too).
+	vms := in.VMs()
+	var reqs []lookahead.Request
+	var vmList []VMID
+	for _, vm := range vms {
+		_, batch := in.AppsOf(vm)
+		if len(batch) == 0 {
+			continue
+		}
+		vmList = append(vmList, vm)
+		reqs = append(reqs, lookahead.Request{
+			Curve: combinedBatchCurve(in, batch).ConvexHull(),
+			Min:   in.Machine.BankBytes, // at least one overlay bank each
+			Step:  in.Machine.BankBytes,
+		})
+	}
+	if len(vmList) == 0 {
+		return pl
+	}
+	if float64(len(vmList))*in.Machine.BankBytes > budget {
+		// Degenerate: latency-critical data consumed nearly everything.
+		// Give each VM one bank's worth anyway — the overlay is infeasible
+		// by construction, so capacity bookkeeping stays advisory.
+		budget = float64(len(vmList)) * in.Machine.BankBytes
+	}
+	sizes := lookahead.Allocate(budget, reqs)
+
+	// Assign overlay banks round-robin nearest-first.
+	ownerOverlay := make(map[topo.TileID]VMID)
+	needed := make(map[VMID]int)
+	for i, vm := range vmList {
+		needed[vm] = int(math.Round(sizes[i] / in.Machine.BankBytes))
+		if needed[vm] < 1 {
+			needed[vm] = 1
+		}
+	}
+	for {
+		progressed := false
+		for _, vm := range vmList {
+			if needed[vm] <= 0 {
+				continue
+			}
+			b, ok := nearestFreeBank(in, vm, ownerOverlay)
+			if !ok {
+				break
+			}
+			ownerOverlay[b] = vm
+			needed[vm]--
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Jigsaw placement inside each VM's overlay banks.
+	jig := JumanjiPlacer{}
+	for i, vm := range vmList {
+		allowed := make(map[topo.TileID]bool)
+		for b, v := range ownerOverlay {
+			if v == vm {
+				allowed[b] = true
+			}
+		}
+		_, batch := in.AppsOf(vm)
+		jig.placeBatchWithin(in, pl, overlay, batch, sizes[i], allowed)
+		for _, app := range batch {
+			pl.OverlayApps[app] = true
+		}
+	}
+	return pl
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"jumanji/internal/lookahead"
+)
+
+// JigsawPlacer is the state-of-the-art D-NUCA baseline [6, 8]: it minimizes
+// data movement and nothing else. Capacity is divided among all virtual
+// caches by Lookahead over their (access-rate-weighted) miss curves, and
+// each VC's allocation is packed into the banks closest to its thread.
+//
+// Because latency-critical applications run at low utilization and generate
+// little data movement, Jigsaw gives them very little space — the root cause
+// of its tail-latency violations (Sec. III, Fig. 4b).
+type JigsawPlacer struct{}
+
+// Name implements Placer.
+func (JigsawPlacer) Name() string { return "Jigsaw" }
+
+// Place implements Placer.
+func (JigsawPlacer) Place(in *Input) *Placement {
+	return jigsawPlace(in, true)
+}
+
+// RawCurveJigsawPlacer is an ablation variant of Jigsaw that feeds raw
+// (possibly cliffed) miss curves to Lookahead instead of convex hulls.
+// The paper approximates DRRIP's miss curve by the hull (Sec. IV-A), so
+// hulls are the faithful configuration; see BenchmarkAblationHull.
+type RawCurveJigsawPlacer struct{}
+
+// Name implements Placer.
+func (RawCurveJigsawPlacer) Name() string { return "Jigsaw (raw curves)" }
+
+// Place implements Placer.
+func (RawCurveJigsawPlacer) Place(in *Input) *Placement {
+	return jigsawPlace(in, false)
+}
+
+func jigsawPlace(in *Input, hull bool) *Placement {
+	mustValidate(in)
+	pl := NewPlacement(in.Machine)
+	balance := newBalance(in.Machine)
+
+	// Divide capacity by pure data-movement utility: every app (batch and
+	// latency-critical alike) competes on its absolute miss-rate curve.
+	apps := make([]AppID, len(in.Apps))
+	reqs := make([]lookahead.Request, len(in.Apps))
+	wayBytes := in.Machine.WayBytes()
+	for i := range in.Apps {
+		apps[i] = AppID(i)
+		curve := in.Apps[i].MissRateCurve()
+		if hull {
+			curve = curve.ConvexHull()
+		}
+		reqs[i] = lookahead.Request{
+			Curve: curve,
+			Min:   wayBytes, // every VC keeps a sliver of cache
+			Step:  wayBytes,
+			Max:   in.Machine.TotalBytes(),
+		}
+	}
+	sizes := lookahead.Allocate(in.Machine.TotalBytes(), reqs)
+
+	// Pack the hottest VCs closest to their threads.
+	for _, app := range byDescendingRate(in, apps) {
+		greedyFill(in, pl, app, sizes[app], balance, nil)
+	}
+	return pl
+}

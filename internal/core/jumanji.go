@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"jumanji/internal/lookahead"
+	"jumanji/internal/mrc"
+	"jumanji/internal/topo"
+)
+
+// JumanjiPlacer implements JumanjiPlacer from Listing 3 — the paper's
+// primary contribution. Each epoch it:
+//
+//  1. reserves space for latency-critical applications in their nearest
+//     banks via LatCritPlacer (Listing 2), sized by feedback control, so
+//     tail-latency deadlines are met;
+//  2. divides the remaining capacity among VMs with JumanjiLookahead, which
+//     forces every VM's total allocation onto whole-bank boundaries, then
+//     assigns banks to VMs round-robin nearest-first — so no two VMs ever
+//     share a bank, defending conflict attacks, port attacks and
+//     performance leakage (Sec. VI);
+//  3. optimizes batch data placement within each VM's banks with Jigsaw's
+//     algorithm, minimizing on-chip data movement.
+type JumanjiPlacer struct {
+	// Insecure disables step 2's bank isolation ("Jumanji: Insecure" in
+	// Fig. 16): batch data is placed for pure locality after the
+	// latency-critical reservations.
+	Insecure bool
+	// AllowOversubscription enables the Sec. IV-B fallback when VMs
+	// outnumber LLC banks: VMs are grouped onto bank sets and
+	// time-multiplexed, with the shared banks flushed on every context
+	// switch. Security still holds (flushing removes all shared state) but
+	// time-shared applications run cold after each switch; the resulting
+	// placement marks them in Placement.TimeShared. Without this flag the
+	// placer rejects such workloads outright.
+	AllowOversubscription bool
+}
+
+// Name implements Placer.
+func (p JumanjiPlacer) Name() string {
+	if p.Insecure {
+		return "Jumanji: Insecure"
+	}
+	return "Jumanji"
+}
+
+// Place implements Placer.
+func (p JumanjiPlacer) Place(in *Input) *Placement {
+	mustValidate(in)
+	// Safety valve: if the controllers' demands make bank-granular VM
+	// isolation infeasible (more reserved banks than exist), scale the
+	// latency-critical sizes down and retry. This cannot occur with the
+	// controllers' default bounds; it guards pathological inputs.
+	scaled := *in
+	for attempt := 0; attempt < 16; attempt++ {
+		pl, err := p.place(&scaled)
+		if err == nil {
+			return pl
+		}
+		scaled = shrinkLatSizes(scaled, 0.9)
+	}
+	panic(fmt.Sprintf("core: %s could not find a feasible placement", p.Name()))
+}
+
+func shrinkLatSizes(in Input, factor float64) Input {
+	smaller := make(map[AppID]float64, len(in.LatSizes))
+	for id, s := range in.LatSizes {
+		smaller[id] = s * factor
+	}
+	in.LatSizes = smaller
+	return in
+}
+
+func (p JumanjiPlacer) place(in *Input) (*Placement, error) {
+	if vms := in.VMs(); !p.Insecure && p.AllowOversubscription && len(vms) > in.Machine.Banks() {
+		return p.placeOversubscribed(in, vms)
+	}
+	pl := NewPlacement(in.Machine)
+	balance := newBalance(in.Machine)
+
+	// ① Reserve latency-critical allocations nearest-first.
+	latRes := latCritPlace(in, pl, balance, !p.Insecure)
+	if latRes.unplaced > 0 {
+		return nil, fmt.Errorf("core: %g bytes of latency-critical data did not fit", latRes.unplaced)
+	}
+
+	if p.Insecure {
+		p.placeBatchInsecure(in, pl, balance)
+		return pl, nil
+	}
+
+	// ② Bank-granular VM allocation (JumanjiLookahead) + bank assignment.
+	owner, err := p.assignBanks(in, pl, latRes)
+	if err != nil {
+		return nil, err
+	}
+
+	// ③ Jigsaw placement within each VM's banks.
+	for _, vm := range in.VMs() {
+		allowed := make(map[topo.TileID]bool)
+		vmCapacity := 0.0
+		for b, v := range owner {
+			if v == vm {
+				allowed[b] = true
+				vmCapacity += balance[b]
+			}
+		}
+		_, batch := in.AppsOf(vm)
+		if len(batch) == 0 || vmCapacity <= 0 {
+			continue
+		}
+		p.placeBatchWithin(in, pl, balance, batch, vmCapacity, allowed)
+	}
+	return pl, nil
+}
+
+// placeOversubscribed handles more VMs than banks (Sec. IV-B): VMs are
+// folded into at most Banks() scheduling groups; the normal bank-isolated
+// placement runs on the groups; and every application in a group holding
+// more than one VM is marked time-shared (its banks are flushed on each
+// context switch, so it is warm only its share of the time). Isolation
+// between concurrently-resident VMs is preserved by construction, and
+// isolation across time by the flush.
+func (p JumanjiPlacer) placeOversubscribed(in *Input, vms []VMID) (*Placement, error) {
+	banks := in.Machine.Banks()
+	group := make(map[VMID]VMID, len(vms))
+	groupSize := make(map[VMID]int)
+	for i, vm := range vms {
+		g := VMID(i % banks)
+		group[vm] = g
+		groupSize[g]++
+	}
+	folded := *in
+	folded.Apps = make([]AppSpec, len(in.Apps))
+	copy(folded.Apps, in.Apps)
+	for i := range folded.Apps {
+		folded.Apps[i].VM = group[in.Apps[i].VM]
+	}
+	pl, err := p.place(&folded)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range in.Apps {
+		if k := groupSize[group[a.VM]]; k > 1 {
+			pl.TimeShared[AppID(i)] = 1 / float64(k)
+		}
+	}
+	return pl, nil
+}
+
+// assignBanks computes each VM's whole-bank entitlement and hands out banks
+// round-robin, each VM taking its closest remaining bank. Banks already
+// holding a VM's latency-critical data belong to that VM from the start.
+func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResult) (map[topo.TileID]VMID, error) {
+	m := in.Machine
+	vms := in.VMs()
+	if len(vms) > m.Banks() {
+		return nil, fmt.Errorf("core: %d VMs exceed %d banks; bank isolation impossible", len(vms), m.Banks())
+	}
+
+	// Feedback-reserved bytes per VM.
+	latOf := make(map[VMID]float64, len(vms))
+	for _, app := range in.LatCritApps() {
+		latOf[in.Apps[app].VM] += pl.TotalOf(app)
+	}
+
+	// JumanjiLookahead: batch capacity divided among VMs so that
+	// lat + batch is a whole number of banks per VM.
+	var reqs []lookahead.Request
+	minTotal := 0.0
+	for _, vm := range vms {
+		_, batch := in.AppsOf(vm)
+		curve := flatCurve(in)
+		if len(batch) > 0 {
+			curve = combinedBatchCurve(in, batch).ConvexHull()
+		}
+		r := lookahead.BankGranularRequest(curve, 1, latOf[vm], m.BankBytes)
+		// A VM whose latency-critical data lands exactly on a bank boundary
+		// would start with zero batch space; its batch applications still
+		// need a way each, so step the minimum to the next feasible point.
+		if len(batch) > 0 && r.Min < in.Machine.WayBytes()*float64(len(batch)) {
+			r.Min += m.BankBytes
+		}
+		reqs = append(reqs, r)
+		minTotal += r.Min
+	}
+	batchBalance := m.TotalBytes() - sumOf(latOf)
+	if minTotal > batchBalance+1e-6 {
+		return nil, fmt.Errorf("core: bank-granular minima (%g) exceed batch capacity (%g)", minTotal, batchBalance)
+	}
+	sizes := lookahead.Allocate(batchBalance, reqs)
+
+	// Whole-bank entitlement per VM.
+	needed := make(map[VMID]int, len(vms))
+	totalBanks := 0
+	for i, vm := range vms {
+		banks := int(math.Round((latOf[vm] + sizes[i]) / m.BankBytes))
+		needed[vm] = banks
+		totalBanks += banks
+	}
+	if totalBanks > m.Banks() {
+		return nil, fmt.Errorf("core: VM entitlements (%d banks) exceed %d banks", totalBanks, m.Banks())
+	}
+
+	// Start from the latency-critical claims.
+	owner := make(map[topo.TileID]VMID, m.Banks())
+	for b, vm := range latRes.claims {
+		owner[b] = vm
+		needed[vm]--
+	}
+
+	// Every VM with applications must own at least one bank, even if its
+	// capacity share rounded to zero.
+	owned := make(map[VMID]int, len(vms))
+	for _, vm := range owner {
+		owned[vm]++
+	}
+	for _, vm := range vms {
+		if owned[vm]+needed[vm] <= 0 {
+			needed[vm] = 1 - owned[vm]
+		}
+	}
+
+	// Round-robin: each VM takes its closest unowned bank. Leftover banks
+	// (utility-flat tails) are also distributed so all capacity is owned.
+	for {
+		progressed := false
+		for _, vm := range vms {
+			if needed[vm] <= 0 {
+				continue
+			}
+			b, ok := nearestFreeBank(in, vm, owner)
+			if !ok {
+				return nil, fmt.Errorf("core: ran out of banks assigning VM %d", vm)
+			}
+			owner[b] = vm
+			needed[vm]--
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	for {
+		b, vm, ok := nextLeftover(in, vms, owner)
+		if !ok {
+			break
+		}
+		owner[b] = vm
+	}
+	return owner, nil
+}
+
+// placeBatchWithin runs Jigsaw's algorithm inside one VM: per-app Lookahead
+// over the VM's capacity, then nearest-first packing restricted to the VM's
+// banks.
+func (p JumanjiPlacer) placeBatchWithin(in *Input, pl *Placement, balance []float64, batch []AppID, capacity float64, allowed map[topo.TileID]bool) {
+	wayBytes := in.Machine.WayBytes()
+	reqs := make([]lookahead.Request, len(batch))
+	for i, app := range batch {
+		reqs[i] = lookahead.Request{
+			Curve: in.Apps[app].MissRateCurve().ConvexHull(),
+			Min:   wayBytes,
+			Step:  wayBytes,
+			Max:   in.Machine.TotalBytes(),
+		}
+	}
+	sizes := lookahead.Allocate(capacity, reqs)
+	idx := make(map[AppID]int, len(batch))
+	for i, app := range batch {
+		idx[app] = i
+	}
+	for _, app := range byDescendingRate(in, batch) {
+		greedyFill(in, pl, app, sizes[idx[app]], balance, allowed)
+	}
+}
+
+// placeBatchInsecure is the Fig. 16 variant: latency-critical reservations
+// stand, but batch goes wherever locality is best, with no VM isolation.
+func (p JumanjiPlacer) placeBatchInsecure(in *Input, pl *Placement, balance []float64) {
+	batch := in.BatchApps()
+	if len(batch) == 0 {
+		return
+	}
+	capacity := 0.0
+	for _, b := range balance {
+		capacity += b
+	}
+	p.placeBatchWithin(in, pl, balance, batch, capacity, nil)
+}
+
+// nearestFreeBank finds the closest unowned bank to any of vm's cores.
+func nearestFreeBank(in *Input, vm VMID, owner map[topo.TileID]VMID) (topo.TileID, bool) {
+	best, bestDist := topo.TileID(-1), -1
+	for b := 0; b < in.Machine.Banks(); b++ {
+		bid := topo.TileID(b)
+		if _, taken := owner[bid]; taken {
+			continue
+		}
+		d := vmDistance(in, vm, bid)
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = bid, d
+		}
+	}
+	return best, bestDist >= 0
+}
+
+// nextLeftover picks an unowned bank and the VM nearest to it.
+func nextLeftover(in *Input, vms []VMID, owner map[topo.TileID]VMID) (topo.TileID, VMID, bool) {
+	for b := 0; b < in.Machine.Banks(); b++ {
+		bid := topo.TileID(b)
+		if _, taken := owner[bid]; taken {
+			continue
+		}
+		bestVM, bestDist := vms[0], -1
+		for _, vm := range vms {
+			d := vmDistance(in, vm, bid)
+			if bestDist < 0 || d < bestDist {
+				bestVM, bestDist = vm, d
+			}
+		}
+		return bid, bestVM, true
+	}
+	return 0, 0, false
+}
+
+func sumOf(m map[VMID]float64) float64 {
+	keys := make([]VMID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	t := 0.0
+	for _, k := range keys {
+		t += m[k]
+	}
+	return t
+}
+
+// flatCurve is a zero-utility curve for VMs with no batch applications.
+func flatCurve(in *Input) mrc.Curve {
+	return mrc.New(in.Machine.WayBytes(), []float64{0, 0})
+}

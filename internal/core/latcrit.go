@@ -1,0 +1,64 @@
+package core
+
+import (
+	"jumanji/internal/topo"
+)
+
+// latCritResult reports what LatCritPlacer did.
+type latCritResult struct {
+	// claims maps each bank that received latency-critical data to the
+	// owning VM (used by JumanjiPlacer's bank-isolation step).
+	claims map[topo.TileID]VMID
+	// unplaced is the total bytes that could not be placed (only possible
+	// when the machine is pathologically over-subscribed).
+	unplaced float64
+}
+
+// latCritPlace implements LatCritPlacer (Listing 2): for each
+// latency-critical application, sort LLC banks by distance from the
+// application's core and greedily grab space in the closest banks until the
+// feedback-controller's target size is placed. The allocation is recorded
+// in pl and deducted from balance (bytes remaining per bank).
+//
+// When exclusivePerVM is set (Jumanji), a bank already claimed by a
+// different VM's latency-critical data is skipped, so the later VM-isolation
+// step never inherits a violated constraint.
+//
+// Target sizes below one way's worth are raised to one way: every
+// registered application keeps a minimal allocation (the controllers
+// enforce the same floor).
+func latCritPlace(in *Input, pl *Placement, balance []float64, exclusivePerVM bool) latCritResult {
+	res := latCritResult{claims: make(map[topo.TileID]VMID)}
+	wayBytes := in.Machine.WayBytes()
+	for _, app := range in.LatCritApps() {
+		spec := in.Apps[app]
+		remaining := in.LatSizes[app]
+		if remaining < wayBytes {
+			remaining = wayBytes
+		}
+		for _, b := range in.Machine.Mesh.BanksByDistance(spec.Core) {
+			if remaining <= 0 {
+				break
+			}
+			if exclusivePerVM {
+				if vm, claimed := res.claims[b]; claimed && vm != spec.VM {
+					continue
+				}
+			}
+			avail := balance[b]
+			if avail <= 0 {
+				continue
+			}
+			take := avail
+			if remaining < take {
+				take = remaining
+			}
+			pl.Add(app, b, take)
+			balance[b] -= take
+			remaining -= take
+			res.claims[b] = spec.VM
+		}
+		res.unplaced += remaining
+	}
+	return res
+}

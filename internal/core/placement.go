@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"jumanji/internal/topo"
+	"jumanji/internal/vtb"
+)
+
+// Placement is the product of a placer: how many bytes each application
+// holds in each LLC bank, this epoch.
+type Placement struct {
+	Machine Machine
+	// Alloc[app][bank] is the bytes of bank capacity reserved for app.
+	Alloc map[AppID]map[topo.TileID]float64
+	// Unpartitioned marks applications whose space is an *estimate* of
+	// natural sharing rather than an enforced partition (the batch pool of
+	// the Static and Adaptive designs). Unpartitioned applications do not
+	// get way masks and remain exposed to cross-application conflicts.
+	Unpartitioned map[AppID]bool
+	// OverlayApps marks applications placed in the Ideal-Batch overlay
+	// LLC: their bank coordinates are in a *separate copy* of the LLC, so
+	// they do not contend for physical bank capacity with the rest.
+	OverlayApps map[AppID]bool
+	// GroupWays overrides the effective associativity an application sees:
+	// apps sharing a pool compete within the pool's ways, not their own
+	// share (e.g. VM-Part batch apps see their VM's per-bank ways).
+	GroupWays map[AppID]float64
+	// TimeShared marks applications whose banks are time-multiplexed with
+	// another VM: when VMs outnumber banks, Jumanji co-schedules VMs on
+	// banks and flushes the shared banks on context switch (Sec. IV-B).
+	// Security holds (the flush removes all state), but the app restarts
+	// cold every switch. The value is the app's share of bank time.
+	TimeShared map[AppID]float64
+}
+
+// NewPlacement returns an empty placement for the machine.
+func NewPlacement(m Machine) *Placement {
+	return &Placement{
+		Machine:       m,
+		Alloc:         make(map[AppID]map[topo.TileID]float64),
+		Unpartitioned: make(map[AppID]bool),
+		OverlayApps:   make(map[AppID]bool),
+		GroupWays:     make(map[AppID]float64),
+		TimeShared:    make(map[AppID]float64),
+	}
+}
+
+// Add reserves bytes of bank b for app. Adding zero or negative bytes is a
+// no-op (placers naturally produce zero remainders).
+func (p *Placement) Add(app AppID, b topo.TileID, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	m, ok := p.Alloc[app]
+	if !ok {
+		m = make(map[topo.TileID]float64)
+		p.Alloc[app] = m
+	}
+	m[b] += bytes
+}
+
+// TotalOf returns app's total allocated bytes.
+func (p *Placement) TotalOf(app AppID) float64 {
+	var t float64
+	for _, b := range p.Alloc[app] {
+		t += b
+	}
+	return t
+}
+
+// BankUsed returns the bytes of bank b committed to physical allocations
+// (overlay applications excluded).
+func (p *Placement) BankUsed(b topo.TileID) float64 {
+	var t float64
+	for app, banks := range p.Alloc {
+		if p.OverlayApps[app] {
+			continue
+		}
+		t += banks[b]
+	}
+	return t
+}
+
+// BanksOf returns app's banks (ascending) and matching byte weights.
+func (p *Placement) BanksOf(app AppID) (banks []topo.TileID, bytes []float64) {
+	m := p.Alloc[app]
+	banks = make([]topo.TileID, 0, len(m))
+	for b := range m {
+		banks = append(banks, b)
+	}
+	sort.Slice(banks, func(i, j int) bool { return banks[i] < banks[j] })
+	bytes = make([]float64, len(banks))
+	for i, b := range banks {
+		bytes[i] = m[b]
+	}
+	return banks, bytes
+}
+
+// AppsInBank returns the applications holding space in bank b, ascending.
+// Overlay applications are excluded: they are not physically in the bank.
+func (p *Placement) AppsInBank(b topo.TileID) []AppID {
+	var out []AppID
+	for app, banks := range p.Alloc {
+		if p.OverlayApps[app] {
+			continue
+		}
+		if banks[b] > 0 {
+			out = append(out, app)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AvgHops returns the capacity-weighted mean one-way hop distance from
+// app's core to its allocated banks, or 0 for an empty allocation.
+func (p *Placement) AvgHops(app AppID, core topo.TileID) float64 {
+	banks, bytes := p.BanksOf(app)
+	if len(banks) == 0 {
+		return 0
+	}
+	return p.Machine.Mesh.AvgHops(core, banks, bytes)
+}
+
+// Descriptor builds the VC placement descriptor realizing app's allocation
+// (bank shares proportional to bytes). It returns false for an empty
+// allocation.
+func (p *Placement) Descriptor(app AppID) (vtb.Descriptor, bool) {
+	m := p.Alloc[app]
+	if len(m) == 0 {
+		return vtb.Descriptor{}, false
+	}
+	shares := make(map[topo.TileID]float64, len(m))
+	for b, bytes := range m {
+		shares[b] = bytes
+	}
+	return vtb.NewDescriptor(shares), true
+}
+
+// MeanWays returns the effective associativity app's data sees. For apps in
+// a shared pool (GroupWays set) it is the pool's per-bank ways; for
+// unpartitioned apps the full bank associativity; otherwise the
+// capacity-weighted mean ways of the app's own partition.
+func (p *Placement) MeanWays(app AppID) float64 {
+	if w, ok := p.GroupWays[app]; ok && w > 0 {
+		return w
+	}
+	if p.Unpartitioned[app] {
+		return float64(p.Machine.WaysPerBank)
+	}
+	banks, bytes := p.BanksOf(app)
+	if len(banks) == 0 {
+		return 0
+	}
+	wayBytes := p.Machine.WayBytes()
+	var total, weight float64
+	for _, by := range bytes {
+		total += (by / wayBytes) * by
+		weight += by
+	}
+	return total / weight
+}
+
+// Validate checks the placement against physical capacity and the input:
+// non-negative allocations, no over-committed bank, and every app present.
+func (p *Placement) Validate(in *Input) error {
+	for app, banks := range p.Alloc {
+		if int(app) < 0 || int(app) >= len(in.Apps) {
+			return fmt.Errorf("core: placement for unknown app %d", app)
+		}
+		for b, bytes := range banks {
+			if int(b) < 0 || int(b) >= p.Machine.Banks() {
+				return fmt.Errorf("core: app %d placed in invalid bank %d", app, b)
+			}
+			if bytes < 0 {
+				return fmt.Errorf("core: app %d has negative bytes in bank %d", app, b)
+			}
+		}
+	}
+	for b := 0; b < p.Machine.Banks(); b++ {
+		if used := p.BankUsed(topo.TileID(b)); used > p.Machine.BankBytes*(1+1e-9) {
+			return fmt.Errorf("core: bank %d over-committed: %g > %g", b, used, p.Machine.BankBytes)
+		}
+	}
+	for i := range in.Apps {
+		if p.TotalOf(AppID(i)) <= 0 {
+			return fmt.Errorf("core: app %d (%s) received no capacity", i, in.Apps[i].Name)
+		}
+	}
+	return nil
+}
+
+// VMsSharingBank returns the distinct VMs with physical space in bank b.
+func (p *Placement) VMsSharingBank(in *Input, b topo.TileID) []VMID {
+	seen := make(map[VMID]bool)
+	for _, app := range p.AppsInBank(b) {
+		seen[in.Apps[app].VM] = true
+	}
+	out := make([]VMID, 0, len(seen))
+	for vm := range seen {
+		out = append(out, vm)
+	}
+	sortVMIDs(out)
+	return out
+}
+
+// IsVMIsolated reports whether no bank is shared by two VMs — Jumanji's
+// security guarantee (Sec. VI-D).
+func (p *Placement) IsVMIsolated(in *Input) bool {
+	for b := 0; b < p.Machine.Banks(); b++ {
+		if len(p.VMsSharingBank(in, topo.TileID(b))) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MovedFraction estimates how much of app's cached data a placement change
+// from prev to p invalidates. Data homes follow the placement descriptor's
+// *bank distribution*, so the moved fraction is the total-variation
+// distance between the old and new normalized distributions: pure capacity
+// resizes (same bank shares, e.g. a striped S-NUCA allocation shrinking)
+// move nothing — Intel CAT revokes ways lazily — while descriptor changes
+// that re-home entries trigger the Sec. IV-A background coherence walk.
+// A nil prev (first epoch) moves nothing.
+func (p *Placement) MovedFraction(app AppID, prev *Placement) float64 {
+	if prev == nil {
+		return 0
+	}
+	cur := p.Alloc[app]
+	old := prev.Alloc[app]
+	curTotal := p.TotalOf(app)
+	oldTotal := prev.TotalOf(app)
+	if len(old) == 0 || len(cur) == 0 || curTotal <= 0 || oldTotal <= 0 {
+		return 0
+	}
+	// Total variation: half the L1 distance between the share distributions.
+	tv := 0.0
+	seen := make(map[topo.TileID]bool, len(old)+len(cur))
+	for b, was := range old {
+		seen[b] = true
+		d := was/oldTotal - cur[b]/curTotal
+		if d < 0 {
+			d = -d
+		}
+		tv += d
+	}
+	for b, now := range cur {
+		if !seen[b] {
+			tv += now / curTotal
+		}
+	}
+	return tv / 2
+}
+
+// WayMasks computes disjoint per-application way masks for bank b from the
+// byte allocations (largest-remainder rounding to whole ways), skipping
+// unpartitioned and overlay applications. The masks drive the Intel CAT
+// model in the detailed simulator.
+func (p *Placement) WayMasks(b topo.TileID) map[AppID]uint64 {
+	type share struct {
+		app   AppID
+		exact float64
+		ways  int
+		rem   float64
+	}
+	var shares []share
+	wayBytes := p.Machine.WayBytes()
+	for app, banks := range p.Alloc {
+		if p.Unpartitioned[app] || p.OverlayApps[app] {
+			continue
+		}
+		if bytes := banks[b]; bytes > 0 {
+			exact := bytes / wayBytes
+			shares = append(shares, share{app: app, exact: exact, ways: int(exact), rem: exact - float64(int(exact))})
+		}
+	}
+	if len(shares) == 0 {
+		return nil
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i].app < shares[j].app })
+	assigned := 0
+	for i := range shares {
+		assigned += shares[i].ways
+	}
+	// Distribute leftover ways by largest remainder, but never beyond the
+	// bank's associativity.
+	order := make([]int, len(shares))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return shares[order[i]].rem > shares[order[j]].rem })
+	for _, i := range order {
+		if assigned >= p.Machine.WaysPerBank {
+			break
+		}
+		if shares[i].rem > 0 {
+			shares[i].ways++
+			assigned++
+		}
+	}
+	masks := make(map[AppID]uint64, len(shares))
+	next := 0
+	for _, s := range shares {
+		if s.ways == 0 {
+			continue
+		}
+		var mask uint64
+		for w := 0; w < s.ways && next < p.Machine.WaysPerBank; w++ {
+			mask |= 1 << uint(next)
+			next++
+		}
+		if mask != 0 {
+			masks[s.app] = mask
+		}
+	}
+	return masks
+}

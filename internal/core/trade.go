@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+
+	"jumanji/internal/topo"
+)
+
+// TradePlacer implements the more sophisticated algorithm the paper
+// explored and deliberately discarded (Sec. V-D, Sec. VIII-C): after
+// JumanjiPlacer runs, it tries to move batch data closer to its cores by
+// trading LLC space with latency-critical applications — relocating part of
+// a latency-critical allocation to a farther bank and compensating it with
+// *extra capacity* so its modeled performance cannot degrade (the strict
+// constraint the paper imposes: trades cannot penalize latency-critical
+// applications).
+//
+// The paper found "trades were very rare and yielded little speedup" and
+// that the algorithm "generally behaves like Jumanji's simple LatCritPlacer
+// in practice". This implementation exists to reproduce that negative
+// result (see BenchmarkAblationTrading); TradesAttempted/TradesAccepted
+// expose how rarely the strict constraint admits a trade.
+type TradePlacer struct {
+	// MemLatency and HopCycles parameterize the CPI-delta model used to
+	// evaluate trades (defaults: the Table II machine's 120-cycle memory
+	// and 3-cycle hops).
+	MemLatency, HopCycles float64
+
+	// TradesAttempted and TradesAccepted count candidate evaluations and
+	// applied trades over this placer's lifetime.
+	TradesAttempted, TradesAccepted int
+}
+
+// Name implements Placer.
+func (p *TradePlacer) Name() string { return "Jumanji: Trading" }
+
+// Place implements Placer.
+func (p *TradePlacer) Place(in *Input) *Placement {
+	pl := JumanjiPlacer{}.Place(in)
+	memLat := p.MemLatency
+	if memLat == 0 {
+		memLat = 120
+	}
+	hopCycles := p.HopCycles
+	if hopCycles == 0 {
+		hopCycles = 3
+	}
+
+	wayBytes := in.Machine.WayBytes()
+	for _, vm := range in.VMs() {
+		latApps, batchApps := in.AppsOf(vm)
+		if len(latApps) == 0 || len(batchApps) == 0 {
+			continue
+		}
+		for _, lat := range latApps {
+			p.tradeForVM(in, pl, lat, batchApps, wayBytes, memLat, hopCycles)
+		}
+	}
+	return pl
+}
+
+// tradeForVM evaluates moving one way of lat's data from its nearest bank
+// to the farthest bank the VM owns, compensating lat with extra capacity
+// carved from batch space in the far bank.
+func (p *TradePlacer) tradeForVM(in *Input, pl *Placement, lat AppID, batchApps []AppID, wayBytes, memLat, hopCycles float64) {
+	spec := in.Apps[lat]
+	banks, bytes := pl.BanksOf(lat)
+	if len(banks) == 0 {
+		return
+	}
+	mesh := in.Machine.Mesh
+
+	// Near bank: lat's closest; far bank: the farthest bank holding batch
+	// data of the same VM.
+	nearIdx := 0
+	for i, b := range banks {
+		if mesh.Hops(spec.Core, b) < mesh.Hops(spec.Core, banks[nearIdx]) {
+			nearIdx = i
+		}
+	}
+	nearBank := banks[nearIdx]
+	if bytes[nearIdx] < wayBytes {
+		return
+	}
+	var farBank = nearBank
+	farDist := -1
+	var donor AppID = -1
+	for _, b := range batchApps {
+		bb, by := pl.BanksOf(b)
+		for i, bk := range bb {
+			d := mesh.Hops(spec.Core, bk)
+			if d > farDist && by[i] >= 2*wayBytes {
+				farDist = d
+				farBank = bk
+				donor = b
+			}
+		}
+	}
+	if donor < 0 || farBank == nearBank {
+		return
+	}
+	p.TradesAttempted++
+
+	// Latency-critical impact of moving `wayBytes` from near to far:
+	// weighted distance rises; compensate with extra capacity c such that
+	// the CPI delta is non-positive.
+	total := pl.TotalOf(lat)
+	oldHops := pl.AvgHops(lat, spec.Core)
+	dNear := float64(mesh.Hops(spec.Core, nearBank))
+	dFar := float64(mesh.Hops(spec.Core, farBank))
+	newHops := oldHops + (dFar-dNear)*wayBytes/total
+	dHitLat := 2 * (newHops - oldHops) * hopCycles
+
+	// Required capacity compensation: missRatio(total+c) must improve
+	// enough that Δmiss × memLat ≥ ΔhitLat. Search in way steps.
+	curve := spec.MissRatio.ConvexHull()
+	missNow := curve.Eval(total)
+	comp := math.Inf(1)
+	for c := wayBytes; c <= 8*wayBytes; c += wayBytes {
+		if (missNow-curve.Eval(total+c))*memLat >= dHitLat {
+			comp = c
+			break
+		}
+	}
+	if math.IsInf(comp, 1) {
+		return // no affordable compensation: constraint rejects the trade
+	}
+	// The donor must give up wayBytes+comp in the far bank and receives
+	// wayBytes in the near one; accept only if the donor's own benefit
+	// (closer data) outweighs its capacity loss.
+	donorSpec := in.Apps[donor]
+	donorCurve := donorSpec.MissRatio.ConvexHull()
+	donorTotal := pl.TotalOf(donor)
+	missCost := (donorCurve.Eval(donorTotal-comp) - donorCurve.Eval(donorTotal)) * memLat
+	dDonorNear := float64(mesh.Hops(donorSpec.Core, nearBank))
+	dDonorFar := float64(mesh.Hops(donorSpec.Core, farBank))
+	hopGain := 2 * (dDonorFar - dDonorNear) * hopCycles * wayBytes / donorTotal
+	if hopGain <= missCost {
+		return // not a net win for batch either: reject
+	}
+
+	// Apply the trade: lat moves a way near→far and gains comp in the far
+	// bank; the donor shrinks by way+comp far and grows a way near. Bank
+	// capacity is conserved in both banks.
+	p.TradesAccepted++
+	adjust(pl, lat, nearBank, -wayBytes)
+	adjust(pl, lat, farBank, wayBytes+comp)
+	adjust(pl, donor, farBank, -(wayBytes + comp))
+	adjust(pl, donor, nearBank, wayBytes)
+}
+
+// adjust adds delta bytes (possibly negative) to app's share of bank b,
+// clamping tiny float residue at zero.
+func adjust(pl *Placement, app AppID, b topo.TileID, delta float64) {
+	m := pl.Alloc[app]
+	if m == nil {
+		m = make(map[topo.TileID]float64)
+		pl.Alloc[app] = m
+	}
+	m[b] += delta
+	if m[b] < 1e-6 {
+		delete(m, b)
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's primary contribution: the data
+// placement algorithms that manage a distributed LLC. It contains
+// LatCritPlacer (Listing 2), JumanjiPlacer (Listing 3), a Jigsaw-style
+// data-movement-minimizing placer, and the S-NUCA baselines the evaluation
+// compares against (Static, Adaptive, VM-Part), plus the Jumanji variants
+// used in the sensitivity studies (Insecure, Ideal Batch).
+//
+// Placers are pure software: they consume miss curves and produce a
+// Placement (bytes per application per bank). Performance and security
+// consequences of a Placement are evaluated by internal/system.
+package core
+
+import (
+	"fmt"
+
+	"jumanji/internal/mrc"
+	"jumanji/internal/topo"
+)
+
+// AppID indexes an application in the workload (position in Input.Apps).
+type AppID int
+
+// VMID identifies a trust domain. Applications in the same VM trust each
+// other; applications in different VMs are mutually untrusted (Sec. VI-A).
+type VMID int
+
+// AppSpec describes one application to the placement algorithms.
+type AppSpec struct {
+	Name string
+	VM   VMID
+	// Core is the tile the application's thread runs on.
+	Core topo.TileID
+	// LatencyCritical marks applications with tail-latency deadlines.
+	LatencyCritical bool
+	// MissRatio is the application's LLC miss-*ratio* curve (misses per
+	// LLC access, 0..1, as profiled by UMONs).
+	MissRatio mrc.Curve
+	// AccessRate is the application's LLC access intensity (accesses per
+	// kilo-instruction, or any consistent rate). Placers weight utility by
+	// it, so curves of light and heavy applications compete fairly.
+	AccessRate float64
+}
+
+// MissRateCurve returns the absolute miss-rate curve: miss ratio × access
+// rate, the quantity lookahead trades off across applications.
+func (a AppSpec) MissRateCurve() mrc.Curve {
+	return a.MissRatio.Scale(a.AccessRate)
+}
+
+// Machine describes the LLC the placers manage.
+type Machine struct {
+	Mesh        topo.Mesh
+	BankBytes   float64 // capacity per bank
+	WaysPerBank int
+}
+
+// DefaultMachine returns the Table II machine: 5×4 mesh, 1 MB 32-way banks.
+func DefaultMachine() Machine {
+	return Machine{Mesh: topo.NewMesh(5, 4), BankBytes: 1 << 20, WaysPerBank: 32}
+}
+
+// Banks returns the number of LLC banks.
+func (m Machine) Banks() int { return m.Mesh.Tiles() }
+
+// TotalBytes returns total LLC capacity.
+func (m Machine) TotalBytes() float64 { return m.BankBytes * float64(m.Banks()) }
+
+// WayBytes returns the capacity of one way in one bank — the granularity of
+// way-partitioned allocations.
+func (m Machine) WayBytes() float64 { return m.BankBytes / float64(m.WaysPerBank) }
+
+// Input is everything a placer needs for one reconfiguration epoch.
+type Input struct {
+	Machine Machine
+	Apps    []AppSpec
+	// LatSizes holds the feedback controllers' current target allocation
+	// (bytes) for each latency-critical application.
+	LatSizes map[AppID]float64
+}
+
+// Validate checks internal consistency; placers call it on entry.
+func (in *Input) Validate() error {
+	if in.Machine.Banks() == 0 || in.Machine.BankBytes <= 0 || in.Machine.WaysPerBank <= 0 {
+		return fmt.Errorf("core: invalid machine %+v", in.Machine)
+	}
+	if len(in.Apps) == 0 {
+		return fmt.Errorf("core: no applications")
+	}
+	for i, a := range in.Apps {
+		if int(a.Core) < 0 || int(a.Core) >= in.Machine.Banks() {
+			return fmt.Errorf("core: app %d (%s) on invalid core %d", i, a.Name, a.Core)
+		}
+		if a.AccessRate < 0 {
+			return fmt.Errorf("core: app %d (%s) has negative access rate", i, a.Name)
+		}
+		if a.LatencyCritical {
+			if _, ok := in.LatSizes[AppID(i)]; !ok {
+				return fmt.Errorf("core: latency-critical app %d (%s) has no LatSize", i, a.Name)
+			}
+		}
+	}
+	for id, s := range in.LatSizes {
+		if int(id) < 0 || int(id) >= len(in.Apps) {
+			return fmt.Errorf("core: LatSize for unknown app %d", id)
+		}
+		if s < 0 {
+			return fmt.Errorf("core: negative LatSize %g for app %d", s, id)
+		}
+	}
+	return nil
+}
+
+// VMs returns the distinct VM IDs present, in ascending order.
+func (in *Input) VMs() []VMID {
+	seen := make(map[VMID]bool)
+	var out []VMID
+	for _, a := range in.Apps {
+		if !seen[a.VM] {
+			seen[a.VM] = true
+			out = append(out, a.VM)
+		}
+	}
+	sortVMIDs(out)
+	return out
+}
+
+func sortVMIDs(v []VMID) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// AppsOf returns the app IDs in vm, split into latency-critical and batch.
+func (in *Input) AppsOf(vm VMID) (latCrit, batch []AppID) {
+	for i, a := range in.Apps {
+		if a.VM != vm {
+			continue
+		}
+		if a.LatencyCritical {
+			latCrit = append(latCrit, AppID(i))
+		} else {
+			batch = append(batch, AppID(i))
+		}
+	}
+	return latCrit, batch
+}
+
+// LatCritApps returns all latency-critical app IDs in app order.
+func (in *Input) LatCritApps() []AppID {
+	var out []AppID
+	for i, a := range in.Apps {
+		if a.LatencyCritical {
+			out = append(out, AppID(i))
+		}
+	}
+	return out
+}
+
+// BatchApps returns all batch app IDs in app order.
+func (in *Input) BatchApps() []AppID {
+	var out []AppID
+	for i, a := range in.Apps {
+		if !a.LatencyCritical {
+			out = append(out, AppID(i))
+		}
+	}
+	return out
+}
+
+// Placer is a complete LLC management design: it maps an Input to a
+// Placement each reconfiguration epoch.
+type Placer interface {
+	// Name identifies the design in reports ("Jumanji", "Jigsaw", ...).
+	Name() string
+	// Place computes the epoch's allocation. Implementations must return a
+	// placement that passes Placement.Validate for the same input.
+	Place(in *Input) *Placement
+}

@@ -1,0 +1,78 @@
+// Package energy models dynamic data-movement energy, split the way Fig. 15
+// reports it: L1, L2, LLC banks, on-chip network, and main memory. Unit
+// energies follow the prior work the paper cites for its numbers (Jenga
+// [79]): on-chip SRAM accesses cost well under a nanojoule, NoC traversals
+// scale with hops, and DRAM accesses dominate at tens of nanojoules.
+package energy
+
+// Unit energies in nanojoules per event.
+type Params struct {
+	L1Access  float64 // per L1 access
+	L2Access  float64 // per L2 access
+	LLCAccess float64 // per LLC bank access
+	NoCHop    float64 // per hop traversed by one 64 B message
+	MemAccess float64 // per DRAM access
+}
+
+// DefaultParams returns unit energies in line with the 45 nm-era numbers of
+// the prior work the paper draws on.
+func DefaultParams() Params {
+	return Params{
+		L1Access:  0.1,
+		L2Access:  0.35,
+		LLCAccess: 1.0,
+		NoCHop:    0.65,
+		MemAccess: 20,
+	}
+}
+
+// Counts are raw event counts for one application or one run.
+type Counts struct {
+	L1Accesses  float64
+	L2Accesses  float64
+	LLCAccesses float64
+	NoCHops     float64 // total hop-messages (round trips included by caller)
+	MemAccesses float64
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.L1Accesses += other.L1Accesses
+	c.L2Accesses += other.L2Accesses
+	c.LLCAccesses += other.LLCAccesses
+	c.NoCHops += other.NoCHops
+	c.MemAccesses += other.MemAccesses
+}
+
+// Breakdown is dynamic energy per component, in nanojoules.
+type Breakdown struct {
+	L1, L2, LLC, NoC, Mem float64
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.L1 + b.L2 + b.LLC + b.NoC + b.Mem }
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.L1 += other.L1
+	b.L2 += other.L2
+	b.LLC += other.LLC
+	b.NoC += other.NoC
+	b.Mem += other.Mem
+}
+
+// Scale returns the breakdown multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{L1: b.L1 * f, L2: b.L2 * f, LLC: b.LLC * f, NoC: b.NoC * f, Mem: b.Mem * f}
+}
+
+// Energy converts event counts to a component breakdown.
+func (p Params) Energy(c Counts) Breakdown {
+	return Breakdown{
+		L1:  c.L1Accesses * p.L1Access,
+		L2:  c.L2Accesses * p.L2Access,
+		LLC: c.LLCAccesses * p.LLCAccess,
+		NoC: c.NoCHops * p.NoCHop,
+		Mem: c.MemAccesses * p.MemAccess,
+	}
+}

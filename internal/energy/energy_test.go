@@ -1,0 +1,47 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyBreakdown(t *testing.T) {
+	p := Params{L1Access: 1, L2Access: 2, LLCAccess: 3, NoCHop: 4, MemAccess: 5}
+	b := p.Energy(Counts{L1Accesses: 10, L2Accesses: 10, LLCAccesses: 10, NoCHops: 10, MemAccesses: 10})
+	if b.L1 != 10 || b.L2 != 20 || b.LLC != 30 || b.NoC != 40 || b.Mem != 50 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.Total() != 150 {
+		t.Errorf("Total = %v", b.Total())
+	}
+}
+
+func TestDefaultsOrdering(t *testing.T) {
+	// The physical hierarchy: L1 cheapest, DRAM most expensive by far.
+	p := DefaultParams()
+	if !(p.L1Access < p.L2Access && p.L2Access < p.LLCAccess && p.LLCAccess < p.MemAccess) {
+		t.Errorf("unit energies out of order: %+v", p)
+	}
+	if p.MemAccess < 10*p.LLCAccess {
+		t.Error("DRAM should dominate on-chip accesses")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	var b Breakdown
+	b.Add(Breakdown{L1: 1, Mem: 2})
+	b.Add(Breakdown{L1: 1, NoC: 3})
+	if b.L1 != 2 || b.Mem != 2 || b.NoC != 3 {
+		t.Errorf("Add = %+v", b)
+	}
+	s := b.Scale(0.5)
+	if s.L1 != 1 || math.Abs(s.Total()-b.Total()/2) > 1e-12 {
+		t.Errorf("Scale = %+v", s)
+	}
+	var c Counts
+	c.Add(Counts{L1Accesses: 5, MemAccesses: 1})
+	c.Add(Counts{L1Accesses: 5})
+	if c.L1Accesses != 10 || c.MemAccesses != 1 {
+		t.Errorf("Counts.Add = %+v", c)
+	}
+}

@@ -1,0 +1,193 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestController() *Controller {
+	// Deadline 100, start at 1000 bytes, bounds [100, 10000], panic to 4000.
+	return New(DefaultParams(), 100, 1000, 100, 10000, 4000)
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.TargetLow != 0.85 || p.TargetHigh != 0.95 || p.PanicAt != 1.10 ||
+		p.Step != 0.10 || p.Interval != 20 || p.Percentile != 95 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+func TestGrowWhenNearDeadline(t *testing.T) {
+	c := newTestController()
+	// Tail at 96% of deadline: grow 10%.
+	if got := c.Update(96); math.Abs(got-1100) > 1e-9 {
+		t.Errorf("size = %v, want 1100", got)
+	}
+}
+
+func TestShrinkNeedsTwoComfortableWindows(t *testing.T) {
+	c := newTestController()
+	if got := c.Update(50); got != 1000 {
+		t.Errorf("size after one comfortable window = %v, want unchanged", got)
+	}
+	if got := c.Update(50); math.Abs(got-900) > 1e-9 {
+		t.Errorf("size after two comfortable windows = %v, want 900", got)
+	}
+}
+
+func TestShrinkStreakResetByBandOrGrow(t *testing.T) {
+	c := newTestController()
+	c.Update(50) // comfortable once
+	c.Update(90) // back in band: streak resets
+	if got := c.Update(50); got != 1000 {
+		t.Errorf("streak should have reset, size = %v", got)
+	}
+	c2 := newTestController()
+	c2.Update(50)
+	c2.Update(99) // grow resets the streak too
+	c2.Update(50)
+	if got := c2.Size(); math.Abs(got-1100) > 1e-9 {
+		t.Errorf("size = %v, want 1100 (one grow, no shrink)", got)
+	}
+}
+
+func TestHoldInsideBand(t *testing.T) {
+	c := newTestController()
+	if got := c.Update(90); got != 1000 {
+		t.Errorf("size = %v, want unchanged 1000", got)
+	}
+}
+
+func TestPanicBoosts(t *testing.T) {
+	c := newTestController()
+	if got := c.Update(115); got != 4000 {
+		t.Errorf("size = %v, want panic size 4000", got)
+	}
+	if c.Panics != 1 {
+		t.Errorf("Panics = %d", c.Panics)
+	}
+}
+
+func TestPanicNeverShrinks(t *testing.T) {
+	// If the allocation already exceeds the panic size, panicking keeps it.
+	c := New(DefaultParams(), 100, 8000, 100, 10000, 4000)
+	if got := c.Update(150); got != 8000 {
+		t.Errorf("panic shrank the allocation to %v", got)
+	}
+}
+
+func TestBoundsClamped(t *testing.T) {
+	c := New(DefaultParams(), 100, 110, 100, 10000, 4000)
+	// Repeated shrinks bottom out at minSize.
+	for i := 0; i < 50; i++ {
+		c.Update(10)
+	}
+	if c.Size() != 100 {
+		t.Errorf("size = %v, want min 100", c.Size())
+	}
+	// Repeated grows top out at maxSize.
+	for i := 0; i < 100; i++ {
+		c.Update(99)
+	}
+	if c.Size() != 10000 {
+		t.Errorf("size = %v, want max 10000", c.Size())
+	}
+}
+
+func TestRequestCompletedBatches(t *testing.T) {
+	c := newTestController()
+	for i := 0; i < 19; i++ {
+		if _, changed := c.RequestCompleted(99); changed {
+			t.Fatalf("controller updated after only %d requests", i+1)
+		}
+	}
+	size, changed := c.RequestCompleted(99)
+	if !changed {
+		t.Fatal("controller did not update after Interval requests")
+	}
+	if size <= 1000 {
+		t.Errorf("tail at 99%% of deadline should grow the allocation, got %v", size)
+	}
+	if c.Updates != 1 {
+		t.Errorf("Updates = %d", c.Updates)
+	}
+}
+
+func TestRequestCompletedUsesTailNotMean(t *testing.T) {
+	c := newTestController()
+	// 18 fast requests and two huge ones: p95 lands on the spike → panic,
+	// even though the mean (≈59) is far under the deadline.
+	for i := 0; i < 18; i++ {
+		c.RequestCompleted(10)
+	}
+	c.RequestCompleted(500)
+	size, changed := c.RequestCompleted(500)
+	if !changed || size != 4000 {
+		t.Errorf("queueing spike should set the tail and trigger panic, size = %v", size)
+	}
+}
+
+func TestSizeAlwaysWithinBounds(t *testing.T) {
+	f := func(tails []float64) bool {
+		c := newTestController()
+		for _, raw := range tails {
+			tail := math.Abs(raw)
+			if math.IsNaN(tail) || math.IsInf(tail, 0) {
+				continue
+			}
+			s := c.Update(tail)
+			if s < 100-1e-9 || s > 10000+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ok := DefaultParams()
+	cases := []func(){
+		func() { New(ok, 0, 1000, 100, 10000, 4000) },         // zero deadline
+		func() { New(ok, 100, 50, 100, 10000, 4000) },         // initial below min
+		func() { New(ok, 100, 1000, 0, 10000, 4000) },         // zero min
+		func() { New(ok, 100, 1000, 100, 50, 4000) },          // max < min
+		func() { New(ok, 100, 1000, 100, 10000, 20000) },      // panic above max
+		func() { New(Params{}, 100, 1000, 100, 10000, 4000) }, // invalid params
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{TargetLow: 0, TargetHigh: 0.95, PanicAt: 1.1, Step: 0.1, Interval: 20, Percentile: 95},
+		{TargetLow: 0.9, TargetHigh: 0.8, PanicAt: 1.1, Step: 0.1, Interval: 20, Percentile: 95},
+		{TargetLow: 0.85, TargetHigh: 0.95, PanicAt: 0.5, Step: 0.1, Interval: 20, Percentile: 95},
+		{TargetLow: 0.85, TargetHigh: 0.95, PanicAt: 1.1, Step: 0, Interval: 20, Percentile: 95},
+		{TargetLow: 0.85, TargetHigh: 0.95, PanicAt: 1.1, Step: 0.1, Interval: 0, Percentile: 95},
+		{TargetLow: 0.85, TargetHigh: 0.95, PanicAt: 1.1, Step: 0.1, Interval: 20, Percentile: 0},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("params case %d should panic", i)
+				}
+			}()
+			New(p, 100, 1000, 100, 10000, 4000)
+		}()
+	}
+}

@@ -1,0 +1,106 @@
+package feedback
+
+import "fmt"
+
+// QueueController is the alternative controller the paper sketches in
+// Sec. V-C: instead of measuring completed requests' tail latency, it reacts
+// to the application's request queue depth — which "would require additional
+// information from applications" (the server must export its queue, as in
+// Rubik [34]). Queue depth leads tail latency, so this controller reacts to
+// load spikes before they show in completions, at the cost of a more
+// invasive interface.
+//
+// Depth is the *time-averaged* number of waiting requests (obtainable from
+// Little's law, L = λW, with the arrival rate and mean waiting time the OS
+// already sees). For an M/G/1 server the waiting queue at 50% utilization
+// averages ≈0.3 requests and explodes past 1 as utilization nears 1, which
+// sets the default thresholds.
+type QueueController struct {
+	// ShrinkBelow, GrowAt and PanicAt are average-depth thresholds.
+	ShrinkBelow, GrowAt, PanicAt float64
+	// Step is the multiplicative adjustment (as in the tail controller).
+	Step float64
+	// ShrinkPatience consecutive quiet samples shrink the allocation.
+	ShrinkPatience int
+
+	size      float64
+	minSize   float64
+	maxSize   float64
+	panicSize float64
+	quiet     int
+
+	// Updates and Panics count decisions.
+	Updates uint64
+	Panics  uint64
+}
+
+// NewQueueController returns a controller with the given thresholds and the
+// same size bounds as the tail controller. Zero thresholds take defaults
+// (shrink below 0.15, grow at 0.5, panic at 2.0, step 0.10, patience 2).
+func NewQueueController(shrinkBelow, growAt, panicAt, step float64, patience int, initial, minSize, maxSize, panicSize float64) *QueueController {
+	if shrinkBelow == 0 {
+		shrinkBelow = 0.15
+	}
+	if growAt == 0 {
+		growAt = 0.5
+	}
+	if panicAt == 0 {
+		panicAt = 2.0
+	}
+	if step == 0 {
+		step = 0.10
+	}
+	if patience == 0 {
+		patience = 2
+	}
+	switch {
+	case shrinkBelow <= 0 || growAt <= shrinkBelow || panicAt < growAt:
+		panic(fmt.Sprintf("feedback: invalid queue thresholds %g/%g/%g", shrinkBelow, growAt, panicAt))
+	case step <= 0 || step >= 1:
+		panic(fmt.Sprintf("feedback: invalid step %g", step))
+	case minSize <= 0 || maxSize < minSize || initial < minSize || initial > maxSize:
+		panic(fmt.Sprintf("feedback: invalid sizes [%g, %g] init %g", minSize, maxSize, initial))
+	case panicSize < minSize || panicSize > maxSize:
+		panic(fmt.Sprintf("feedback: invalid panic size %g", panicSize))
+	}
+	return &QueueController{
+		ShrinkBelow: shrinkBelow, GrowAt: growAt, PanicAt: panicAt,
+		Step: step, ShrinkPatience: patience,
+		size: initial, minSize: minSize, maxSize: maxSize, panicSize: panicSize,
+	}
+}
+
+// Size returns the current allocation in bytes.
+func (c *QueueController) Size() float64 { return c.size }
+
+// Update applies one decision for an observed average waiting-queue depth
+// and returns the new allocation.
+func (c *QueueController) Update(avgDepth float64) float64 {
+	c.Updates++
+	switch {
+	case avgDepth >= c.PanicAt:
+		c.Panics++
+		c.quiet = 0
+		if c.size < c.panicSize {
+			c.size = c.panicSize
+		}
+	case avgDepth >= c.GrowAt:
+		c.quiet = 0
+		c.size *= 1 + c.Step
+	case avgDepth < c.ShrinkBelow:
+		c.quiet++
+		if c.quiet >= c.ShrinkPatience {
+			c.quiet = 0
+			c.size *= 1 - c.Step
+		}
+	default:
+		c.quiet = 0
+	}
+	if c.size > c.maxSize {
+		c.size = c.maxSize
+	}
+	if c.size < c.minSize {
+		c.size = c.minSize
+	}
+	return c.size
+}

@@ -1,0 +1,90 @@
+package feedback
+
+import "testing"
+
+func newQueueCtrl() *QueueController {
+	return NewQueueController(0, 0, 0, 0, 0, 1000, 100, 10000, 4000)
+}
+
+func TestQueueControllerDefaults(t *testing.T) {
+	c := newQueueCtrl()
+	if c.ShrinkBelow != 0.15 || c.GrowAt != 0.5 || c.PanicAt != 2.0 ||
+		c.Step != 0.10 || c.ShrinkPatience != 2 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestQueueControllerGrow(t *testing.T) {
+	c := newQueueCtrl()
+	if got := c.Update(0.6); got != 1100 {
+		t.Errorf("size = %v, want 1100", got)
+	}
+}
+
+func TestQueueControllerPanic(t *testing.T) {
+	c := newQueueCtrl()
+	if got := c.Update(5); got != 4000 {
+		t.Errorf("size = %v, want panic 4000", got)
+	}
+	if c.Panics != 1 {
+		t.Errorf("Panics = %d", c.Panics)
+	}
+}
+
+func TestQueueControllerShrinkNeedsPatience(t *testing.T) {
+	c := newQueueCtrl()
+	if got := c.Update(0.05); got != 1000 {
+		t.Errorf("one quiet sample shrank to %v", got)
+	}
+	if got := c.Update(0.05); got != 900 {
+		t.Errorf("two quiet samples gave %v, want 900", got)
+	}
+}
+
+func TestQueueControllerBandHolds(t *testing.T) {
+	c := newQueueCtrl()
+	c.Update(0.05)
+	if got := c.Update(0.3); got != 1000 {
+		t.Errorf("in-band depth changed size to %v", got)
+	}
+	// Streak was reset by the in-band sample.
+	if got := c.Update(0.05); got != 1000 {
+		t.Errorf("size = %v, want 1000 (streak reset)", got)
+	}
+}
+
+func TestQueueControllerBounds(t *testing.T) {
+	c := newQueueCtrl()
+	for i := 0; i < 100; i++ {
+		c.Update(1)
+	}
+	if c.Size() != 10000 {
+		t.Errorf("max not enforced: %v", c.Size())
+	}
+	for i := 0; i < 200; i++ {
+		c.Update(0)
+	}
+	if c.Size() != 100 {
+		t.Errorf("min not enforced: %v", c.Size())
+	}
+}
+
+func TestQueueControllerValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewQueueController(0.5, 0.2, 2, 0.1, 2, 1000, 100, 10000, 4000) },   // grow < shrink
+		func() { NewQueueController(0.1, 0.5, 0.2, 0.1, 2, 1000, 100, 10000, 4000) }, // panic < grow
+		func() { NewQueueController(0.1, 0.5, 2, 1.5, 2, 1000, 100, 10000, 4000) },   // bad step
+		func() { NewQueueController(0.1, 0.5, 2, 0.1, 2, 50, 100, 10000, 4000) },     // init < min
+		func() { NewQueueController(0.1, 0.5, 2, 0.1, 2, 1000, 100, 10000, 20000) },  // panic > max
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"jumanji/internal/core"
+	"jumanji/internal/energy"
+	"jumanji/internal/system"
+)
+
+// Fig13Result is the main result: per workload configuration (each
+// latency-critical app plus "Mixed", at high and low load), the per-design
+// distributions of normalized tail latency and batch weighted speedup over
+// the random batch mixes.
+type Fig13Result struct {
+	// Rows[workload][design]; workload labels in Workloads, matching order.
+	Workloads []string
+	HighLoad  []bool
+	Rows      [][]DesignSummary
+}
+
+// Fig13 runs the full main-results protocol. With PaperOptions this is the
+// heaviest experiment (the paper's version summarizes 969 trillion
+// simulated cycles); QuickOptions keeps it in the tens of seconds.
+func Fig13(o Options) Fig13Result {
+	o.validate()
+	var res Fig13Result
+	for _, high := range []bool{true, false} {
+		for _, lc := range LCNames() {
+			res.Workloads = append(res.Workloads, lc)
+			res.HighLoad = append(res.HighLoad, high)
+			res.Rows = append(res.Rows, runMixes(o, caseStudyBuilder(lc, high), mainDesigns()))
+		}
+		res.Workloads = append(res.Workloads, "Mixed")
+		res.HighLoad = append(res.HighLoad, high)
+		res.Rows = append(res.Rows, runMixes(o, mixedBuilder(high), mainDesigns()))
+	}
+	return res
+}
+
+// Render prints the per-workload box summaries.
+func (r Fig13Result) Render(w io.Writer) {
+	header(w, "Fig. 13", "Normalized tail latency and batch weighted speedup (vs. Static) over random batch mixes. Box plots as min/Q1/median/Q3/max.")
+	for i, wl := range r.Workloads {
+		load := "low"
+		if r.HighLoad[i] {
+			load = "high"
+		}
+		fmt.Fprintf(w, "--- %s (%s load) ---\n", wl, load)
+		fmt.Fprintf(w, "%-22s %-44s %s\n", "design", "tail/deadline (box)", "speedup vs static (box)")
+		for _, d := range r.Rows[i] {
+			fmt.Fprintf(w, "%-22s %-44s %s\n", d.Design, d.NormTail.String(), d.Speedup.String())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig14Row is one design's vulnerability (mean potential attackers per
+// LLC access).
+type Fig14Row struct {
+	Design        string
+	Vulnerability float64
+}
+
+// Fig14 reports each design's port-attack vulnerability averaged over the
+// case-study mixes. The S-NUCA designs expose all 15 untrusted apps;
+// Jigsaw's heuristic locality leaves a small residue; Jumanji is exactly 0.
+func Fig14(o Options) []Fig14Row {
+	sums := runMixes(o, mixedBuilder(true), mainDesigns())
+	rows := make([]Fig14Row, 0, len(sums))
+	for _, s := range sums {
+		rows = append(rows, Fig14Row{Design: s.Design, Vulnerability: s.Vulnerability})
+	}
+	return rows
+}
+
+// RenderFig14 prints the vulnerability table.
+func RenderFig14(w io.Writer, rows []Fig14Row) {
+	header(w, "Fig. 14", "Vulnerability to port attacks: average number of applications from other VMs occupying the accessed bank.")
+	fmt.Fprintf(w, "%-22s %14s\n", "design", "attackers/access")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %14.2f\n", r.Design, r.Vulnerability)
+	}
+}
+
+// Fig15Row is one design's dynamic data-movement energy per kilo-instruction,
+// split by component, plus the total normalized to Static.
+type Fig15Row struct {
+	Design                string
+	L1, L2, LLC, NoC, Mem float64 // nJ per kilo-instruction
+	TotalVsStatic         float64
+}
+
+// Fig15 reproduces the energy comparison at high load: D-NUCAs cut NoC and
+// memory energy; the way-partitioned S-NUCAs pay extra misses.
+func Fig15(o Options) []Fig15Row {
+	o.validate()
+	cfg := system.DefaultConfig()
+	placers := mainDesigns()
+	perKI := make([]energy.Breakdown, len(placers))
+	for mix := 0; mix < o.Mixes; mix++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))
+		cfgMix := cfg
+		cfgMix.Seed = o.Seed + int64(mix)
+		wl, err := system.CaseStudyWorkload(cfg.Machine, "xapian", rng, true)
+		if err != nil {
+			panic(err)
+		}
+		for i, p := range placers {
+			r := system.Run(cfgMix, wl, p, o.Epochs, o.Warmup)
+			perKI[i].Add(r.Energy.Scale(1000 / r.TotalInstructions))
+		}
+	}
+	var staticTotal float64
+	rows := make([]Fig15Row, len(placers))
+	for i, p := range placers {
+		b := perKI[i].Scale(1 / float64(o.Mixes))
+		rows[i] = Fig15Row{Design: p.Name(), L1: b.L1, L2: b.L2, LLC: b.LLC, NoC: b.NoC, Mem: b.Mem}
+		if p.Name() == "Static" {
+			staticTotal = b.Total()
+		}
+	}
+	for i := range rows {
+		rows[i].TotalVsStatic = (rows[i].L1 + rows[i].L2 + rows[i].LLC + rows[i].NoC + rows[i].Mem) / staticTotal
+	}
+	return rows
+}
+
+// RenderFig15 prints the energy breakdown.
+func RenderFig15(w io.Writer, rows []Fig15Row) {
+	header(w, "Fig. 15", "Dynamic data-movement energy per kilo-instruction (nJ), by component, at high load; total normalized to Static.")
+	fmt.Fprintf(w, "%-22s %8s %8s %8s %8s %8s %12s\n", "design", "L1", "L2", "LLC", "NoC", "Mem", "total/Static")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %8.2f %8.2f %8.2f %8.2f %8.2f %12.3f\n",
+			r.Design, r.L1, r.L2, r.LLC, r.NoC, r.Mem, r.TotalVsStatic)
+	}
+}
+
+// allDesignPlacers includes the Fig. 16 variants.
+func variantPlacers() []core.Placer {
+	return []core.Placer{
+		core.StaticPlacer{},
+		core.JumanjiPlacer{},
+		core.JumanjiPlacer{Insecure: true},
+		core.IdealBatchPlacer{},
+	}
+}

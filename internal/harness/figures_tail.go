@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"jumanji/internal/core"
+	"jumanji/internal/feedback"
+	"jumanji/internal/stats"
+	"jumanji/internal/system"
+)
+
+// Fig8Point is one allocation of the Fig. 8 sweep.
+type Fig8Point struct {
+	AllocMB                      float64
+	NormTailSNUCA, NormTailDNUCA float64
+}
+
+// Fig8 reproduces the tail-latency vs. allocation sweep: xapian alone at
+// high load with fixed allocations, placed S-NUCA (way-partitioned stripe)
+// vs D-NUCA (nearest banks).
+func Fig8(o Options) []Fig8Point {
+	o.validate()
+	cfg := system.DefaultConfig()
+	cfg.Seed = o.Seed
+	wl, err := system.BuildVMWorkload(cfg.Machine, []system.VMSpec{{LatCrit: []string{"xapian"}}}, nil, true)
+	if err != nil {
+		panic(err)
+	}
+	allocs := []float64{0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75, 2, 2.5, 3, 4, 5, 6, 8, 10}
+	out := make([]Fig8Point, len(allocs))
+	for i, mb := range allocs {
+		s := system.RunFixedLat(cfg, wl, mb*(1<<20), false, o.Epochs, o.Warmup)
+		d := system.RunFixedLat(cfg, wl, mb*(1<<20), true, o.Epochs, o.Warmup)
+		out[i] = Fig8Point{AllocMB: mb, NormTailSNUCA: s.Apps[0].NormTail, NormTailDNUCA: d.Apps[0].NormTail}
+	}
+	return out
+}
+
+// RenderFig8 prints the sweep.
+func RenderFig8(w io.Writer, pts []Fig8Point) {
+	header(w, "Fig. 8", "xapian p95 / deadline vs. fixed LLC allocation. D-NUCA meets the deadline with less space; small allocations blow the tail up.")
+	fmt.Fprintf(w, "%-10s %14s %14s\n", "alloc MB", "S-NUCA", "D-NUCA")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10.2f %14.2f %14.2f\n", p.AllocMB, p.NormTailSNUCA, p.NormTailDNUCA)
+	}
+}
+
+// Fig9Row is one controller parameterization's outcome.
+type Fig9Row struct {
+	Label         string
+	Speedup       float64 // gmean batch weighted speedup vs Static
+	WorstNormTail float64
+}
+
+// Fig9 reproduces the controller sensitivity study: the Fig. 5 workload
+// under Jumanji while varying the target band, panic threshold, and step
+// size one at a time (paper defaults bolded in the labels).
+func Fig9(o Options) []Fig9Row {
+	o.validate()
+	type variant struct {
+		label  string
+		mutate func(*feedback.Params)
+	}
+	variants := []variant{
+		{"band 0.75-0.85", func(p *feedback.Params) { p.TargetLow, p.TargetHigh = 0.75, 0.85 }},
+		{"band 0.85-0.95 *", func(p *feedback.Params) {}},
+		{"band 0.90-0.99", func(p *feedback.Params) { p.TargetLow, p.TargetHigh = 0.90, 0.99 }},
+		{"panic 1.05", func(p *feedback.Params) { p.PanicAt = 1.05 }},
+		{"panic 1.10 *", func(p *feedback.Params) {}},
+		{"panic 1.25", func(p *feedback.Params) { p.PanicAt = 1.25 }},
+		{"step 0.05", func(p *feedback.Params) { p.Step = 0.05 }},
+		{"step 0.10 *", func(p *feedback.Params) {}},
+		{"step 0.20", func(p *feedback.Params) { p.Step = 0.20 }},
+	}
+	rows := make([]Fig9Row, 0, len(variants))
+	for _, v := range variants {
+		cfg := system.DefaultConfig()
+		cfg.Seed = o.Seed
+		v.mutate(&cfg.Feedback)
+		var speedups, tails []float64
+		for mix := 0; mix < o.Mixes; mix++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))
+			cfgMix := cfg
+			cfgMix.Seed = o.Seed + int64(mix)
+			wl, err := system.CaseStudyWorkload(cfg.Machine, "xapian", rng, true)
+			if err != nil {
+				panic(err)
+			}
+			static := system.Run(cfgMix, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
+			ju := system.Run(cfgMix, wl, core.JumanjiPlacer{}, o.Epochs, o.Warmup)
+			speedups = append(speedups, ju.BatchWeightedSpeedup/static.BatchWeightedSpeedup)
+			tails = append(tails, ju.WorstNormTail)
+		}
+		rows = append(rows, Fig9Row{
+			Label:         v.label,
+			Speedup:       stats.Gmean(speedups),
+			WorstNormTail: stats.Max(tails),
+		})
+	}
+	return rows
+}
+
+// RenderFig9 prints the sensitivity table.
+func RenderFig9(w io.Writer, rows []Fig9Row) {
+	header(w, "Fig. 9", "Controller parameter sensitivity under Jumanji (paper defaults marked *). Results should vary little across values.")
+	fmt.Fprintf(w, "%-20s %14s %16s\n", "parameters", "gmean speedup", "worst tail/ddl")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %14.3f %16.2f\n", r.Label, r.Speedup, r.WorstNormTail)
+	}
+}

@@ -1,0 +1,144 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Sec. VIII). Each FigNN function runs the experiment and
+// returns a structured, printable result; cmd/figures renders them as text
+// tables and bench_test.go wraps them as benchmarks. Scale (number of
+// random batch mixes, epochs per run) is configurable so the full paper
+// protocol and a quick smoke run share one code path.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"jumanji/internal/core"
+	"jumanji/internal/stats"
+	"jumanji/internal/system"
+	"jumanji/internal/tailbench"
+)
+
+// Options scales the experiment protocol.
+type Options struct {
+	// Mixes is the number of random batch mixes per configuration
+	// (the paper uses 40).
+	Mixes int
+	// Epochs and Warmup control each run's length.
+	Epochs, Warmup int
+	// Seed seeds mix generation and arrivals.
+	Seed int64
+}
+
+// QuickOptions keeps a full figure regeneration in the seconds range.
+func QuickOptions() Options {
+	return Options{Mixes: 6, Epochs: 40, Warmup: 15, Seed: 1}
+}
+
+// PaperOptions matches the paper's protocol scale (40 mixes).
+func PaperOptions() Options {
+	return Options{Mixes: 40, Epochs: 80, Warmup: 25, Seed: 1}
+}
+
+func (o Options) validate() {
+	if o.Mixes <= 0 || o.Epochs <= 0 || o.Warmup < 0 || o.Warmup >= o.Epochs {
+		panic(fmt.Sprintf("harness: invalid options %+v", o))
+	}
+}
+
+// designs returns the four designs of the main comparison plus Static.
+func mainDesigns() []core.Placer {
+	return []core.Placer{
+		core.StaticPlacer{},
+		core.AdaptivePlacer{},
+		core.VMPartPlacer{},
+		core.JigsawPlacer{},
+		core.JumanjiPlacer{},
+	}
+}
+
+// DesignSummary is one design's aggregate over a set of mixes.
+type DesignSummary struct {
+	Design string
+	// NormTail summarizes worst normalized tails across mixes.
+	NormTail stats.BoxPlot
+	// Speedup summarizes batch weighted speedup vs Static across mixes.
+	Speedup stats.BoxPlot
+	// Vulnerability is the mean attacker count across mixes.
+	Vulnerability float64
+}
+
+// runMixes runs each design over `mixes` case-study workloads and returns
+// summaries. The buildWorkload callback makes one workload per mix.
+func runMixes(o Options, buildWorkload func(m core.Machine, rng *rand.Rand) (system.Workload, error), placers []core.Placer) []DesignSummary {
+	o.validate()
+	cfg := system.DefaultConfig()
+	tails := make([][]float64, len(placers))
+	speedups := make([][]float64, len(placers))
+	vulns := make([]float64, len(placers))
+	for mix := 0; mix < o.Mixes; mix++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))
+		cfgMix := cfg
+		cfgMix.Seed = o.Seed + int64(mix)
+		wl, err := buildWorkload(cfg.Machine, rng)
+		if err != nil {
+			panic(err)
+		}
+		var static *system.RunResult
+		results := make([]*system.RunResult, len(placers))
+		for i, p := range placers {
+			results[i] = system.Run(cfgMix, wl, p, o.Epochs, o.Warmup)
+			if p.Name() == "Static" {
+				static = results[i]
+			}
+		}
+		if static == nil {
+			static = system.Run(cfgMix, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
+		}
+		for i, r := range results {
+			if r.WorstNormTail > 0 {
+				tails[i] = append(tails[i], r.WorstNormTail)
+			}
+			speedups[i] = append(speedups[i], r.BatchWeightedSpeedup/static.BatchWeightedSpeedup)
+			vulns[i] += r.Vulnerability
+		}
+	}
+	out := make([]DesignSummary, len(placers))
+	for i, p := range placers {
+		out[i] = DesignSummary{
+			Design:        p.Name(),
+			Speedup:       stats.Summarize(speedups[i]),
+			Vulnerability: vulns[i] / float64(o.Mixes),
+		}
+		if len(tails[i]) > 0 {
+			out[i].NormTail = stats.Summarize(tails[i])
+		}
+	}
+	return out
+}
+
+// caseStudyBuilder builds the 4×(1 LC + 4 B) workload for one LC app.
+func caseStudyBuilder(lcName string, highLoad bool) func(core.Machine, *rand.Rand) (system.Workload, error) {
+	return func(m core.Machine, rng *rand.Rand) (system.Workload, error) {
+		return system.CaseStudyWorkload(m, lcName, rng, highLoad)
+	}
+}
+
+// mixedBuilder builds the Fig. 13 "Mixed" workload.
+func mixedBuilder(highLoad bool) func(core.Machine, *rand.Rand) (system.Workload, error) {
+	return func(m core.Machine, rng *rand.Rand) (system.Workload, error) {
+		return system.MixedLCWorkload(m, rng, highLoad)
+	}
+}
+
+// LCNames returns the latency-critical application names in Table III order.
+func LCNames() []string {
+	out := make([]string, len(tailbench.Profiles))
+	for i, p := range tailbench.Profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// header prints a figure banner.
+func header(w io.Writer, name, caption string) {
+	fmt.Fprintf(w, "\n=== %s ===\n%s\n\n", name, caption)
+}

@@ -1,0 +1,58 @@
+package lookahead
+
+import (
+	"testing"
+
+	"jumanji/internal/mrc"
+)
+
+// FuzzAllocate checks the partitioning invariants on arbitrary inputs:
+// no over-commit, no negative allocations, minima respected, maxima
+// respected.
+func FuzzAllocate(f *testing.F) {
+	f.Add([]byte{100, 50, 20, 10}, []byte{90, 80, 10, 5}, uint8(8), uint8(0), uint8(0))
+	f.Add([]byte{255, 0}, []byte{10, 10, 10}, uint8(3), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, a, b []byte, totalRaw, minRaw, maxRaw uint8) {
+		mk := func(data []byte) mrc.Curve {
+			if len(data) == 0 {
+				data = []byte{1}
+			}
+			if len(data) > 64 {
+				data = data[:64]
+			}
+			pts := make([]float64, len(data))
+			for i, v := range data {
+				pts[i] = float64(v)
+			}
+			return mrc.New(1, pts)
+		}
+		total := float64(totalRaw)
+		reqs := []Request{
+			{Curve: mk(a), Min: float64(minRaw % 4), Max: float64(maxRaw)},
+			{Curve: mk(b)},
+		}
+		if reqs[0].Min*float64(len(reqs)) > total {
+			return // minima exceeding total panic by contract
+		}
+		if reqs[0].Max > 0 && reqs[0].Min > reqs[0].Max {
+			return // Min above Max panics by contract
+		}
+		sizes := Allocate(total, reqs)
+		sum := 0.0
+		for i, s := range sizes {
+			if s < 0 {
+				t.Fatalf("negative allocation %v", s)
+			}
+			if s < reqs[i].Min-1e-9 {
+				t.Fatalf("minimum violated: %v < %v", s, reqs[i].Min)
+			}
+			if reqs[i].Max > 0 && s > reqs[i].Max+1e-9 {
+				t.Fatalf("maximum violated: %v > %v", s, reqs[i].Max)
+			}
+			sum += s
+		}
+		if sum > total+1e-6 {
+			t.Fatalf("over-committed: %v > %v", sum, total)
+		}
+	})
+}

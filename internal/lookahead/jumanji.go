@@ -1,0 +1,37 @@
+package lookahead
+
+import (
+	"fmt"
+	"math"
+
+	"jumanji/internal/mrc"
+)
+
+// BankGranularRequest builds the JumanjiLookahead request for one VM's
+// combined batch miss curve (Sec. VI-D): given that the VM's latency-critical
+// applications already hold latBytes, the VM's *total* allocation must land
+// on a whole number of banks, so feasible batch sizes are
+// k×bank − latBytes for integer k ≥ ceil(latBytes/bank).
+//
+// For example, with 1 MB banks and a 1.3 MB latency-critical reservation,
+// the batch allocation may be 0.7, 1.7, 2.7, ... banks' worth of bytes —
+// exactly the paper's example.
+func BankGranularRequest(curve mrc.Curve, weight, latBytes, bankBytes float64) Request {
+	if bankBytes <= 0 {
+		panic("lookahead: non-positive bank size")
+	}
+	if latBytes < 0 {
+		panic(fmt.Sprintf("lookahead: negative latency-critical size %g", latBytes))
+	}
+	kMin := math.Ceil(latBytes/bankBytes - 1e-9)
+	min := kMin*bankBytes - latBytes
+	if min < 0 {
+		min = 0
+	}
+	return Request{
+		Curve:  curve,
+		Weight: weight,
+		Min:    min,
+		Step:   bankBytes,
+	}
+}

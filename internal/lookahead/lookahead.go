@@ -1,0 +1,149 @@
+// Package lookahead implements the Lookahead partitioning algorithm of
+// utility-based cache partitioning (UCP, Qureshi & Patt [69]) plus the
+// "slightly modified" variant JumanjiLookahead (Sec. VI-D) that constrains
+// each VM's allocation to land on bank-granular boundaries.
+//
+// Lookahead greedily assigns capacity to whichever application currently has
+// the highest marginal utility per unit of capacity, looking ahead across
+// multi-step jumps so that performance cliffs (big utility after several
+// units) are not starved by locally-flat curves.
+package lookahead
+
+import (
+	"fmt"
+
+	"jumanji/internal/mrc"
+)
+
+// Request describes one contender for capacity.
+type Request struct {
+	Curve mrc.Curve // miss curve; Curve.Unit is in bytes
+	// Weight scales the curve's utility (e.g. by access rate) so that
+	// curves expressed as miss *ratios* compete fairly. Zero means 1.
+	Weight float64
+	// Min is the mandatory starting allocation in bytes (0 for none).
+	Min float64
+	// Step is the allocation granularity in bytes. Zero uses the curve's
+	// unit. JumanjiLookahead passes the bank size here.
+	Step float64
+	// Max caps the allocation in bytes. Zero means the curve's full extent.
+	Max float64
+}
+
+// Allocate distributes `total` bytes among the requests, returning the bytes
+// given to each. Every request first receives its Min; remaining capacity is
+// assigned by maximal marginal utility per byte with lookahead. Capacity
+// that cannot be used (all requests at Max, or no positive utility and all
+// steps exhausted) is left unallocated. Allocate panics if the mandatory
+// minimum allocations alone exceed total, since callers size minima from the
+// same budget.
+func Allocate(total float64, reqs []Request) []float64 {
+	if len(reqs) == 0 {
+		return nil
+	}
+	sizes := make([]float64, len(reqs))
+	remaining := total
+	for i, r := range reqs {
+		if r.Min < 0 {
+			panic(fmt.Sprintf("lookahead: negative Min for request %d", i))
+		}
+		if r.Max > 0 && r.Min > r.Max {
+			panic(fmt.Sprintf("lookahead: request %d has Min %g above Max %g", i, r.Min, r.Max))
+		}
+		sizes[i] = r.Min
+		remaining -= r.Min
+	}
+	if remaining < -1e-6 {
+		panic(fmt.Sprintf("lookahead: minimum allocations (%g) exceed total (%g)",
+			total-remaining, total))
+	}
+
+	weight := func(i int) float64 {
+		if reqs[i].Weight > 0 {
+			return reqs[i].Weight
+		}
+		return 1
+	}
+	step := func(i int) float64 {
+		if reqs[i].Step > 0 {
+			return reqs[i].Step
+		}
+		return reqs[i].Curve.Unit
+	}
+	maxOf := func(i int) float64 {
+		if reqs[i].Max > 0 {
+			return reqs[i].Max
+		}
+		return reqs[i].Curve.MaxSize()
+	}
+
+	// Fast path: for convex curves single-step greedy is exactly optimal
+	// (marginal utility is non-increasing), so the O(n·total²) lookahead
+	// scan is unnecessary. The big epoch sweeps pass convex hulls, so this
+	// is the common case.
+	allConvex := true
+	for i := range reqs {
+		if !reqs[i].Curve.IsConvex(1e-12) {
+			allConvex = false
+			break
+		}
+	}
+	if allConvex {
+		for {
+			best, bestRate := -1, 0.0
+			for i := range reqs {
+				s := step(i)
+				if s > remaining+1e-9 || sizes[i]+s > maxOf(i)+1e-9 {
+					continue
+				}
+				gain := (reqs[i].Curve.Eval(sizes[i]) - reqs[i].Curve.Eval(sizes[i]+s)) * weight(i)
+				if rate := gain / s; rate > bestRate+1e-15 {
+					best, bestRate = i, rate
+				}
+			}
+			if best < 0 || bestRate <= 0 {
+				return sizes
+			}
+			sizes[best] += step(best)
+			remaining -= step(best)
+		}
+	}
+
+	for {
+		bestApp, bestJump, bestRate := -1, 0.0, 0.0
+		for i := range reqs {
+			s := step(i)
+			if s <= 0 {
+				panic(fmt.Sprintf("lookahead: non-positive step for request %d", i))
+			}
+			cur := sizes[i]
+			curMiss := reqs[i].Curve.Eval(cur)
+			// Look ahead over 1..k steps for the best utility *rate*.
+			for jump := s; jump <= remaining+1e-9 && cur+jump <= maxOf(i)+1e-9; jump += s {
+				gain := (curMiss - reqs[i].Curve.Eval(cur+jump)) * weight(i)
+				rate := gain / jump
+				if rate > bestRate+1e-15 {
+					bestApp, bestJump, bestRate = i, jump, rate
+				}
+			}
+		}
+		if bestApp < 0 || bestRate <= 0 {
+			return sizes
+		}
+		sizes[bestApp] += bestJump
+		remaining -= bestJump
+		if remaining < minStep(reqs, step) {
+			return sizes
+		}
+	}
+}
+
+func minStep(reqs []Request, step func(int) float64) float64 {
+	m := step(0)
+	for i := 1; i < len(reqs); i++ {
+		if s := step(i); s < m {
+			m = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,236 @@
+// Package mrc implements miss-ratio curves (MRCs), the central data type the
+// paper's allocation algorithms consume. A curve maps LLC capacity to the
+// miss rate an application (or virtual cache) would incur at that capacity.
+//
+// The package provides the two curve transformations the paper relies on:
+//
+//   - Convex hulls: Jumanji approximates DRRIP's miss curve by taking the
+//     convex hull of LRU's miss curve (Sec. IV-A, citing Talus).
+//   - Combination: JumanjiPlacer computes a combined miss curve for each VM's
+//     batch applications using the optimal-partitioning model of Whirlpool
+//     (Sec. VI-D, citing [61, Appendix B]).
+package mrc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Curve is a sampled miss curve. M[i] is the miss rate (conventionally misses
+// per kilo-instruction) when the subject is allocated capacity i*Unit bytes.
+// A valid curve has at least one point and non-negative entries. Miss curves
+// need not be monotone (LRU curves are, but set conflicts can produce
+// non-monotone measured curves); algorithms that require convexity take the
+// hull first.
+type Curve struct {
+	Unit float64   // bytes of capacity per step
+	M    []float64 // miss rate at each multiple of Unit
+}
+
+// New returns a curve with the given unit and points. It panics if unit is
+// non-positive, points is empty, or any point is negative, since curves are
+// constructed by code (profilers, workload models), not external input.
+func New(unit float64, points []float64) Curve {
+	if unit <= 0 {
+		panic(fmt.Sprintf("mrc: non-positive unit %v", unit))
+	}
+	if len(points) == 0 {
+		panic("mrc: empty curve")
+	}
+	for i, p := range points {
+		if p < 0 || math.IsNaN(p) {
+			panic(fmt.Sprintf("mrc: invalid miss rate %v at point %d", p, i))
+		}
+	}
+	m := make([]float64, len(points))
+	copy(m, points)
+	return Curve{Unit: unit, M: m}
+}
+
+// MaxSize returns the largest capacity the curve covers, in bytes.
+func (c Curve) MaxSize() float64 {
+	return float64(len(c.M)-1) * c.Unit
+}
+
+// Eval returns the miss rate at the given capacity in bytes, linearly
+// interpolating between sample points and clamping outside the sampled range.
+func (c Curve) Eval(size float64) float64 {
+	if size <= 0 {
+		return c.M[0]
+	}
+	pos := size / c.Unit
+	lo := int(math.Floor(pos))
+	if lo >= len(c.M)-1 {
+		return c.M[len(c.M)-1]
+	}
+	frac := pos - float64(lo)
+	return c.M[lo]*(1-frac) + c.M[lo+1]*frac
+}
+
+// Clone returns a deep copy of the curve.
+func (c Curve) Clone() Curve {
+	m := make([]float64, len(c.M))
+	copy(m, c.M)
+	return Curve{Unit: c.Unit, M: m}
+}
+
+// Scale returns a copy of the curve with every miss rate multiplied by f.
+// It panics if f is negative.
+func (c Curve) Scale(f float64) Curve {
+	if f < 0 {
+		panic("mrc: negative scale factor")
+	}
+	out := c.Clone()
+	for i := range out.M {
+		out.M[i] *= f
+	}
+	return out
+}
+
+// Monotone returns a copy of the curve forced to be non-increasing by
+// propagating running minima left to right. Measured curves can wiggle due
+// to sampling noise; allocation algorithms assume more capacity never hurts.
+func (c Curve) Monotone() Curve {
+	out := c.Clone()
+	for i := 1; i < len(out.M); i++ {
+		if out.M[i] > out.M[i-1] {
+			out.M[i] = out.M[i-1]
+		}
+	}
+	return out
+}
+
+// ConvexHull returns the lower convex hull of the curve: the largest convex
+// function that is pointwise <= a monotone version of the curve at the sample
+// points. Per Talus [7] this models a cache (or replacement policy like
+// DRRIP) that removes performance cliffs; the paper uses it as DRRIP's miss
+// curve (Sec. IV-A).
+func (c Curve) ConvexHull() Curve {
+	mono := c.Monotone()
+	n := len(mono.M)
+	if n <= 2 {
+		return mono
+	}
+	// Andrew's monotone chain over points (i, M[i]), keeping the lower hull.
+	type pt struct{ x, y float64 }
+	hull := make([]pt, 0, n)
+	for i := 0; i < n; i++ {
+		p := pt{float64(i), mono.M[i]}
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Remove b if it lies on or above segment a-p (non-convex turn).
+			if (b.y-a.y)*(p.x-a.x) >= (p.y-a.y)*(b.x-a.x) {
+				hull = hull[:len(hull)-1]
+			} else {
+				break
+			}
+		}
+		hull = append(hull, p)
+	}
+	// Re-sample the hull back onto the original grid.
+	out := mono.Clone()
+	seg := 0
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		for seg < len(hull)-2 && hull[seg+1].x <= x {
+			seg++
+		}
+		a, b := hull[seg], hull[min(seg+1, len(hull)-1)]
+		if a.x == b.x {
+			out.M[i] = a.y
+			continue
+		}
+		t := (x - a.x) / (b.x - a.x)
+		out.M[i] = a.y + t*(b.y-a.y)
+	}
+	return out
+}
+
+// IsConvex reports whether the curve is convex (discrete second differences
+// all >= -eps) and non-increasing.
+func (c Curve) IsConvex(eps float64) bool {
+	for i := 1; i < len(c.M); i++ {
+		if c.M[i] > c.M[i-1]+eps {
+			return false
+		}
+	}
+	for i := 2; i < len(c.M); i++ {
+		d1 := c.M[i-1] - c.M[i-2]
+		d2 := c.M[i] - c.M[i-1]
+		if d2 < d1-eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns the pointwise sum of two curves sampled on the same grid.
+// It panics on mismatched units or lengths; curves from the same profiler
+// share a grid by construction.
+func Add(a, b Curve) Curve {
+	if a.Unit != b.Unit || len(a.M) != len(b.M) {
+		panic("mrc: Add on mismatched curves")
+	}
+	out := a.Clone()
+	for i := range out.M {
+		out.M[i] += b.M[i]
+	}
+	return out
+}
+
+// Combine computes the combined miss curve of several applications sharing a
+// pooled allocation that is optimally partitioned among them — the Whirlpool
+// Appendix-B model the paper uses to form per-VM curves. combined(S) =
+// min over {s_i : sum s_i = S} of sum_i curve_i(s_i).
+//
+// For convex curves the greedy marginal-utility construction is exactly
+// optimal; Combine therefore takes the hull of each input first (which also
+// matches the paper's DRRIP approximation). All inputs must share a unit.
+// The result has steps = sum of the inputs' steps.
+func Combine(curves ...Curve) Curve {
+	if len(curves) == 0 {
+		panic("mrc: Combine of no curves")
+	}
+	unit := curves[0].Unit
+	totalSteps := 0
+	base := 0.0
+	hulls := make([]Curve, len(curves))
+	for i, c := range curves {
+		if c.Unit != unit {
+			panic("mrc: Combine on mismatched units")
+		}
+		hulls[i] = c.ConvexHull()
+		totalSteps += len(c.M) - 1
+		base += hulls[i].M[0]
+	}
+	// Gather each hull's per-step miss reduction. Convexity makes each list
+	// non-increasing, so a single global descending merge is optimal.
+	gains := make([]float64, 0, totalSteps)
+	for _, h := range hulls {
+		for i := 1; i < len(h.M); i++ {
+			gains = append(gains, h.M[i-1]-h.M[i])
+		}
+	}
+	sortDescending(gains)
+	out := make([]float64, totalSteps+1)
+	out[0] = base
+	for i, g := range gains {
+		out[i+1] = out[i] - g
+		if out[i+1] < 0 {
+			out[i+1] = 0 // guard against float drift
+		}
+	}
+	return Curve{Unit: unit, M: out}
+}
+
+func sortDescending(xs []float64) {
+	sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,270 @@
+// Package security implements the cache attacks of Sec. VI on the detailed
+// event-driven simulator: the LLC port attack (Fig. 11), conventional
+// conflict (prime+probe) attacks, and the set-dueling performance-leakage
+// channel (Fig. 12's mechanism) — plus the defenses Jumanji provides
+// (way-partitioning within banks, bank isolation across VMs).
+package security
+
+import (
+	"fmt"
+
+	"jumanji/internal/bank"
+	"jumanji/internal/cache"
+	"jumanji/internal/sim"
+	"jumanji/internal/topo"
+)
+
+// PortAttackConfig configures the Fig. 11 demonstration: an attacker floods
+// a target LLC bank and times its own accesses; a victim rotates through
+// every bank, flooding each for a dwell period then pausing. When the
+// victim shares the attacker's bank, the attacker's accesses queue behind
+// the victim's at the bank port — a timing side channel that needs no
+// shared cache contents at all.
+type PortAttackConfig struct {
+	Mesh         topo.Mesh
+	TargetBank   topo.TileID
+	AttackerTile topo.TileID
+	VictimTile   topo.TileID
+	// SampleSize is the number of attacker accesses per timing measurement
+	// (the paper amortizes timing overhead over 100 accesses).
+	SampleSize int
+	// DwellAccesses is how many accesses the victim issues per bank.
+	DwellAccesses int
+	// PauseCycles is the victim's idle gap between banks ("several million
+	// cycles" in the paper; smaller here to keep runs quick).
+	PauseCycles sim.Time
+	// VictimActive disables the victim entirely when false (the Fig. 11
+	// "without victim" baseline).
+	VictimActive bool
+	BankPorts    int
+}
+
+// DefaultPortAttackConfig mirrors the paper's setup on the Table II mesh.
+func DefaultPortAttackConfig() PortAttackConfig {
+	return PortAttackConfig{
+		Mesh:          topo.NewMesh(5, 4),
+		TargetBank:    9, // mid-chip bank
+		AttackerTile:  0,
+		VictimTile:    19,
+		SampleSize:    100,
+		DwellAccesses: 4000,
+		PauseCycles:   50000,
+		VictimActive:  true,
+		BankPorts:     1,
+	}
+}
+
+// PortAttackSample is one amortized timing measurement by the attacker.
+type PortAttackSample struct {
+	// Time is the simulation time when the measurement completed.
+	Time sim.Time
+	// MeanLatency is the mean attacker access latency over the sample.
+	MeanLatency float64
+	// VictimBank is the bank the victim was flooding when the sample
+	// completed (-1 when idle or inactive) — ground truth for evaluating
+	// the attack, not visible to the attacker.
+	VictimBank int
+}
+
+// RunPortAttack executes the demonstration and returns the attacker's
+// timing trace. The victim sweeps banks 0..N-1 in order, so the trace shows
+// one latency peak per bank, highest at the attacker's target bank.
+func RunPortAttack(cfg PortAttackConfig) []PortAttackSample {
+	if cfg.SampleSize <= 0 || cfg.DwellAccesses <= 0 {
+		panic(fmt.Sprintf("security: invalid port attack config %+v", cfg))
+	}
+	var eng sim.Engine
+	llcCfg := cache.DefaultTimedConfig(cfg.Mesh)
+	if cfg.BankPorts > 0 {
+		llcCfg.BankPorts = cfg.BankPorts
+	}
+	llc := cache.NewTimed(&eng, llcCfg)
+
+	const (
+		attackerPart bank.PartitionID = 0
+		victimPart   bank.PartitionID = 1
+	)
+	victimBank := -1
+
+	// Victim: flood each bank in turn, pausing in between. The victim uses
+	// different cache sets than the attacker (distinct address ranges), so
+	// any attacker-visible signal is pure port/NoC contention, never
+	// cache-content conflicts.
+	var victimFlood func(b int, remaining int)
+	victimFlood = func(b int, remaining int) {
+		if !cfg.VictimActive {
+			return
+		}
+		if b >= cfg.Mesh.Tiles() {
+			victimBank = -1
+			return
+		}
+		if remaining == 0 {
+			victimBank = -1
+			eng.Schedule(cfg.PauseCycles, func() { victimFlood(b+1, cfg.DwellAccesses) })
+			return
+		}
+		victimBank = b
+		addr := 0x40000000 + uint64(remaining)*64
+		llc.Access(cfg.VictimTile, topo.TileID(b), addr, victimPart, func(cache.Result) {
+			victimFlood(b, remaining-1)
+		})
+	}
+	victimFlood(0, cfg.DwellAccesses)
+
+	// Attacker: continuously access the target bank, recording the mean
+	// latency of every SampleSize accesses.
+	var samples []PortAttackSample
+	totalVictim := cfg.Mesh.Tiles() * cfg.DwellAccesses
+	attackerBudget := 2*totalVictim + 60*cfg.SampleSize
+	var batchLat sim.Time
+	inBatch := 0
+	issued := 0
+	var attack func()
+	attack = func() {
+		if issued >= attackerBudget {
+			return
+		}
+		issued++
+		addr := 0x1000 + uint64(issued%512)*64
+		llc.Access(cfg.AttackerTile, cfg.TargetBank, addr, attackerPart, func(r cache.Result) {
+			batchLat += r.Latency
+			inBatch++
+			if inBatch == cfg.SampleSize {
+				samples = append(samples, PortAttackSample{
+					Time:        eng.Now(),
+					MeanLatency: float64(batchLat) / float64(cfg.SampleSize),
+					VictimBank:  victimBank,
+				})
+				batchLat, inBatch = 0, 0
+			}
+			attack()
+		})
+	}
+	attack()
+
+	eng.RunAll()
+	return samples
+}
+
+// PortAttackSignal summarizes a trace: the attacker's mean latency when the
+// victim floods the attacker's target bank, when the victim floods other
+// banks (NoC contention only), and when the victim is idle. A successful
+// attack has SameBank > OtherBank > Idle.
+type PortAttackSignal struct {
+	SameBank, OtherBank, Idle float64
+}
+
+// PortDefense selects how the victim is protected in ComparePortDefenses.
+type PortDefense int
+
+// The defenses compared against the port attack.
+const (
+	// PortNoDefense: victim and attacker share the bank unrestricted.
+	PortNoDefense PortDefense = iota
+	// PortWayPartition: disjoint way masks within the shared bank. The
+	// paper's point ② (Sec. VI-A): this does NOT defend port attacks —
+	// the port is shared regardless of which ways hold whose data.
+	PortWayPartition
+	// PortBankIsolation: the victim's data lives in a different bank
+	// (Jumanji): the attacker's port is never shared with the victim.
+	PortBankIsolation
+)
+
+// ComparePortDefenses measures the attacker's same-bank signal gap
+// (same-bank mean latency minus other-bank mean latency) under a defense.
+// Way-partitioning leaves the gap intact; bank isolation removes the
+// same-bank condition entirely, so its gap is reported against idle
+// (and is ~0 up to NoC noise).
+func ComparePortDefenses(def PortDefense) float64 {
+	cfg := DefaultPortAttackConfig()
+	cfg.DwellAccesses = 6000
+	cfg.PauseCycles = 20000
+	cfg.SampleSize = 50
+
+	var eng sim.Engine
+	llcCfg := cache.DefaultTimedConfig(cfg.Mesh)
+	llcCfg.BankPorts = cfg.BankPorts
+	llc := cache.NewTimed(&eng, llcCfg)
+
+	const (
+		attackerPart bank.PartitionID = 0
+		victimPart   bank.PartitionID = 1
+	)
+	victimBank := cfg.TargetBank
+	if def == PortBankIsolation {
+		victimBank = cfg.TargetBank + 1 // Jumanji: never the attacker's bank
+	}
+	if def == PortWayPartition {
+		llc.Bank(cfg.TargetBank).SetWayMask(attackerPart, 0xFFFF)
+		llc.Bank(cfg.TargetBank).SetWayMask(victimPart, 0xFFFF0000)
+	}
+
+	// Phase 1: victim active on victimBank; phase 2: victim idle.
+	measure := func(victimOn bool) float64 {
+		var total sim.Time
+		n := 0
+		remainingVictim := cfg.DwellAccesses
+		remaining := 2000
+		var attack func()
+		attack = func() {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			addr := 0x1000 + uint64(remaining%512)*64
+			llc.Access(cfg.AttackerTile, cfg.TargetBank, addr, attackerPart, func(r cache.Result) {
+				total += r.Latency
+				n++
+				attack()
+			})
+		}
+		var victim func()
+		victim = func() {
+			if !victimOn || remainingVictim == 0 {
+				return
+			}
+			remainingVictim--
+			addr := 0x40000000 + uint64(remainingVictim)*64
+			llc.Access(cfg.VictimTile, victimBank, addr, victimPart, func(cache.Result) {
+				victim()
+			})
+		}
+		attack()
+		victim()
+		eng.RunAll()
+		return float64(total) / float64(n)
+	}
+	active := measure(true)
+	idle := measure(false)
+	return active - idle
+}
+
+// Summarize computes the attack signal from a trace using the ground truth.
+func Summarize(samples []PortAttackSample, target topo.TileID) PortAttackSignal {
+	var sig PortAttackSignal
+	var nSame, nOther, nIdle int
+	for _, s := range samples {
+		switch {
+		case s.VictimBank == int(target):
+			sig.SameBank += s.MeanLatency
+			nSame++
+		case s.VictimBank >= 0:
+			sig.OtherBank += s.MeanLatency
+			nOther++
+		default:
+			sig.Idle += s.MeanLatency
+			nIdle++
+		}
+	}
+	if nSame > 0 {
+		sig.SameBank /= float64(nSame)
+	}
+	if nOther > 0 {
+		sig.OtherBank /= float64(nOther)
+	}
+	if nIdle > 0 {
+		sig.Idle /= float64(nIdle)
+	}
+	return sig
+}

@@ -1,0 +1,181 @@
+package security
+
+import (
+	"testing"
+
+	"jumanji/internal/topo"
+)
+
+func quickPortConfig(active bool) PortAttackConfig {
+	cfg := DefaultPortAttackConfig()
+	cfg.DwellAccesses = 600
+	cfg.PauseCycles = 20000
+	cfg.SampleSize = 50
+	cfg.VictimActive = active
+	return cfg
+}
+
+func TestPortAttackDetectsSameBank(t *testing.T) {
+	samples := RunPortAttack(quickPortConfig(true))
+	if len(samples) < 50 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	sig := Summarize(samples, DefaultPortAttackConfig().TargetBank)
+	if sig.SameBank <= sig.OtherBank {
+		t.Errorf("same-bank latency (%.1f) not above other-bank (%.1f): port channel missing",
+			sig.SameBank, sig.OtherBank)
+	}
+	if sig.OtherBank <= sig.Idle {
+		t.Errorf("other-bank latency (%.1f) not above idle (%.1f): NoC contention missing",
+			sig.OtherBank, sig.Idle)
+	}
+}
+
+func TestPortAttackQuietWithoutVictim(t *testing.T) {
+	samples := RunPortAttack(quickPortConfig(false))
+	sig := Summarize(samples, DefaultPortAttackConfig().TargetBank)
+	if sig.SameBank != 0 || sig.OtherBank != 0 {
+		t.Error("no victim: all samples should be idle-class")
+	}
+	// Uncontended latency is flat: every sample equals the idle mean.
+	for _, s := range samples[1:] {
+		if s.MeanLatency != samples[1].MeanLatency {
+			t.Fatalf("latency varies without a victim: %v vs %v", s.MeanLatency, samples[1].MeanLatency)
+		}
+	}
+}
+
+func TestPortAttackMorePortsWeakensSignal(t *testing.T) {
+	one := quickPortConfig(true)
+	four := quickPortConfig(true)
+	four.BankPorts = 4
+	sigOne := Summarize(RunPortAttack(one), one.TargetBank)
+	sigFour := Summarize(RunPortAttack(four), four.TargetBank)
+	gapOne := sigOne.SameBank - sigOne.OtherBank
+	gapFour := sigFour.SameBank - sigFour.OtherBank
+	if gapFour >= gapOne {
+		t.Errorf("4-port gap (%.2f) should be below 1-port gap (%.2f)", gapFour, gapOne)
+	}
+}
+
+func TestPortAttackPanicsOnBadConfig(t *testing.T) {
+	cfg := DefaultPortAttackConfig()
+	cfg.SampleSize = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RunPortAttack(cfg)
+}
+
+func TestPrimeProbeLeaksWithoutDefense(t *testing.T) {
+	if r := PrimeProbe(NoDefense, 4); r.ProbeMisses == 0 {
+		t.Error("undefended prime+probe detected nothing")
+	}
+	if r := PrimeProbe(NoDefense, 0); r.ProbeMisses != 0 {
+		t.Error("false positive: probe missed with idle victim")
+	}
+}
+
+func TestPrimeProbeMonotoneInVictimActivity(t *testing.T) {
+	prev := 0
+	for _, v := range []int{0, 2, 4, 8} {
+		r := PrimeProbe(NoDefense, v)
+		if r.ProbeMisses < prev {
+			t.Fatalf("probe misses decreased with more victim accesses")
+		}
+		prev = r.ProbeMisses
+	}
+}
+
+func TestWayPartitionDefendsConflict(t *testing.T) {
+	for _, v := range []int{0, 4, 64} {
+		if r := PrimeProbe(WayPartition, v); r.ProbeMisses != 0 {
+			t.Errorf("way-partitioning leaked %d probe misses at %d victim accesses", r.ProbeMisses, v)
+		}
+	}
+}
+
+func TestBankIsolationDefendsConflict(t *testing.T) {
+	for _, v := range []int{0, 4, 64} {
+		if r := PrimeProbe(BankIsolation, v); r.ProbeMisses != 0 {
+			t.Errorf("bank isolation leaked %d probe misses at %d victim accesses", r.ProbeMisses, v)
+		}
+	}
+}
+
+func TestDuelingLeakageExists(t *testing.T) {
+	r := RunDuelingLeakage(400)
+	if r.HitRateAlone < 0.3 {
+		t.Fatalf("victim alone hits only %.2f — reuse pattern broken", r.HitRateAlone)
+	}
+	if r.Leakage() < 0.05 {
+		t.Errorf("dueling leakage %.3f too small: co-runner should visibly hurt the victim (alone %.2f, with %.2f)",
+			r.Leakage(), r.HitRateAlone, r.HitRateWithThrasher)
+	}
+	if r.HitRateWithThrasher >= r.HitRateAlone {
+		t.Errorf("thrasher should reduce the victim's hit rate (%.2f -> %.2f)",
+			r.HitRateAlone, r.HitRateWithThrasher)
+	}
+}
+
+func TestSummarizeEmptyAndPartial(t *testing.T) {
+	sig := Summarize(nil, 0)
+	if sig.SameBank != 0 || sig.OtherBank != 0 || sig.Idle != 0 {
+		t.Error("empty trace should summarize to zeros")
+	}
+	sig = Summarize([]PortAttackSample{{MeanLatency: 10, VictimBank: 2}}, topo.TileID(2))
+	if sig.SameBank != 10 {
+		t.Errorf("SameBank = %v", sig.SameBank)
+	}
+}
+
+func TestPortDefensesComparison(t *testing.T) {
+	// The Sec. VI-A claim ②: way-partitioning does NOT defend port attacks;
+	// bank isolation does.
+	none := ComparePortDefenses(PortNoDefense)
+	way := ComparePortDefenses(PortWayPartition)
+	isolated := ComparePortDefenses(PortBankIsolation)
+	if none < 1 {
+		t.Fatalf("undefended port signal only %.2f cycles — attack broken", none)
+	}
+	if way < none*0.5 {
+		t.Errorf("way-partitioning reduced the port signal (%.2f vs %.2f) — it should not", way, none)
+	}
+	if isolated > none*0.3 {
+		t.Errorf("bank isolation left a %.2f-cycle signal (undefended: %.2f)", isolated, none)
+	}
+}
+
+func TestSecretRecoveryEndToEnd(t *testing.T) {
+	for secret := 0; secret < 16; secret++ {
+		r := RecoverSecret(NoDefense, secret)
+		if !r.Recovered {
+			t.Fatalf("secret %d: attacker guessed %d — undefended attack should succeed", secret, r.Guessed)
+		}
+	}
+}
+
+func TestSecretRecoveryDefended(t *testing.T) {
+	for _, def := range []Defense{WayPartition, BankIsolation} {
+		for secret := 0; secret < 16; secret += 5 {
+			r := RecoverSecret(def, secret)
+			if r.Guessed != -1 {
+				t.Errorf("defense %d: attacker still observed set %d (secret %d)", def, r.Guessed, secret)
+			}
+			if r.Recovered {
+				t.Errorf("defense %d: secret %d recovered", def, secret)
+			}
+		}
+	}
+}
+
+func TestSecretRecoveryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range secret should panic")
+		}
+	}()
+	RecoverSecret(NoDefense, 99)
+}

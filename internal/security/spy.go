@@ -1,0 +1,88 @@
+package security
+
+import (
+	"jumanji/internal/bank"
+)
+
+// SpyResult is the outcome of an end-to-end prime+probe secret recovery.
+type SpyResult struct {
+	// Actual is the victim's secret (which lookup-table entry it accessed,
+	// as in a table-based cipher implementation).
+	Actual int
+	// Guessed is the attacker's reconstruction from probe misses, or -1 if
+	// no set showed evictions (the defense worked).
+	Guessed int
+	// Recovered reports Guessed == Actual.
+	Recovered bool
+}
+
+// RecoverSecret mounts the classic end-to-end conflict attack (Sec. VI-A ①):
+// the victim holds a 16-entry lookup table, one entry per cache set, and
+// accesses the entry indexed by its secret — exactly the structure of a
+// table-based cipher S-box. The attacker primes all 16 sets, lets the
+// victim run, then probes each set; the set with probe misses names the
+// table entry and hence the secret.
+//
+// Under NoDefense the secret leaks. Way-partitioning closes this channel
+// (disjoint ways mean victim fills never evict attacker lines); so does
+// Jumanji's bank isolation (no shared sets at all). Contrast with the port
+// channel, which way-partitioning does NOT close (ComparePortDefenses).
+func RecoverSecret(def Defense, secret int) SpyResult {
+	const tableEntries = 16
+	if secret < 0 || secret >= tableEntries {
+		panic("security: secret out of table range")
+	}
+	cfg := bank.Config{Sets: 64, Ways: 4, LineSize: 64, Policy: bank.LRU}
+	attackerBank := bank.New(cfg)
+	victimBank := attackerBank
+	if def == BankIsolation {
+		victimBank = bank.New(cfg)
+	}
+	const (
+		attacker bank.PartitionID = 0
+		victim   bank.PartitionID = 1
+	)
+	if def == WayPartition {
+		attackerBank.SetWayMask(attacker, 0b0011)
+		attackerBank.SetWayMask(victim, 0b1100)
+	}
+
+	// The victim's table occupies sets 0..15, one line per set; the
+	// attacker's priming lines alias the same sets with different tags.
+	tableAddr := func(entry int) uint64 {
+		return uint64(entry)*cfg.LineSize + 0x100000*uint64(cfg.Sets)*cfg.LineSize
+	}
+	primeAddr := func(set, way int) uint64 {
+		return (uint64(way+1)<<16 | uint64(set)) * cfg.LineSize
+	}
+	primeWays := cfg.Ways
+	if def == WayPartition {
+		primeWays = 2 // the attacker only reaches its own ways
+	}
+
+	// Prime.
+	for set := 0; set < tableEntries; set++ {
+		for way := 0; way < primeWays; way++ {
+			attackerBank.Access(primeAddr(set, way), attacker)
+		}
+	}
+	// Victim: one secret-dependent table lookup (repeated, as a cipher
+	// would across blocks).
+	for i := 0; i < 4; i++ {
+		victimBank.Access(tableAddr(secret), victim)
+	}
+	// Probe: the set whose primed lines miss is the secret.
+	guessed := -1
+	for set := 0; set < tableEntries; set++ {
+		misses := 0
+		for way := 0; way < primeWays; way++ {
+			if !attackerBank.Access(primeAddr(set, way), attacker) {
+				misses++
+			}
+		}
+		if misses > 0 && guessed < 0 {
+			guessed = set
+		}
+	}
+	return SpyResult{Actual: secret, Guessed: guessed, Recovered: guessed == secret}
+}

@@ -1,0 +1,70 @@
+package sim
+
+// Server models a resource with fixed concurrency and FIFO queueing in
+// simulated time — e.g. the limited ports of an LLC bank (Sec. VI-B), where
+// queueing delay is precisely the side channel the port attack exploits.
+type Server struct {
+	eng      *Engine
+	capacity int
+	busy     int
+	waiting  []pendingUse
+
+	// TotalServed counts completed uses; TotalQueuedCycles accumulates the
+	// cycles requests spent waiting before service (the port-contention
+	// signal measured by Fig. 11).
+	TotalServed       uint64
+	TotalQueuedCycles uint64
+}
+
+type pendingUse struct {
+	arrived  Time
+	duration Time
+	done     func()
+}
+
+// NewServer returns a server with the given concurrent capacity (number of
+// ports). It panics if capacity is non-positive.
+func NewServer(eng *Engine, capacity int) *Server {
+	if capacity <= 0 {
+		panic("sim: server capacity must be positive")
+	}
+	return &Server{eng: eng, capacity: capacity}
+}
+
+// Busy returns the number of in-service requests.
+func (s *Server) Busy() int { return s.busy }
+
+// QueueLen returns the number of requests waiting for a port.
+func (s *Server) QueueLen() int { return len(s.waiting) }
+
+// Use requests the server for `duration` cycles. When service completes,
+// done is invoked (done may be nil). If all ports are busy the request
+// waits in FIFO order; the wait is counted in TotalQueuedCycles.
+func (s *Server) Use(duration Time, done func()) {
+	if s.busy < s.capacity {
+		s.start(duration, done)
+		return
+	}
+	s.waiting = append(s.waiting, pendingUse{arrived: s.eng.Now(), duration: duration, done: done})
+}
+
+func (s *Server) start(duration Time, done func()) {
+	s.busy++
+	s.eng.Schedule(duration, func() {
+		s.busy--
+		s.TotalServed++
+		if done != nil {
+			done()
+		}
+		s.dispatch()
+	})
+}
+
+func (s *Server) dispatch() {
+	for s.busy < s.capacity && len(s.waiting) > 0 {
+		next := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		s.TotalQueuedCycles += uint64(s.eng.Now() - next.arrived)
+		s.start(next.duration, next.done)
+	}
+}

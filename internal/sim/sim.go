@@ -1,0 +1,100 @@
+// Package sim provides the discrete-event simulation engine underlying the
+// detailed (cycle-level) part of the reproduction: cache banks with limited
+// ports, NoC traversals, and the attack demonstrations all run on this
+// engine. The large design-space sweeps use the epoch-based model in
+// internal/system instead, which needs no event queue.
+package sim
+
+import "container/heap"
+
+// Time is simulation time in cycles.
+type Time uint64
+
+// Event is a callback scheduled to run at a point in simulated time.
+type Event func()
+
+type queuedEvent struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same cycle
+	fn  Event
+}
+
+type eventQueue []queuedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queuedEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engines are not safe for concurrent use; the detailed simulator is
+// single-threaded by design so results are exactly reproducible.
+type Engine struct {
+	now    Time
+	nextID uint64
+	queue  eventQueue
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay cycles (delay 0 means later in the current
+// cycle, after already-queued events for this cycle).
+func (e *Engine) Schedule(delay Time, fn Event) {
+	e.nextID++
+	heap.Push(&e.queue, queuedEvent{at: e.now + delay, seq: e.nextID, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step executes the single earliest event, advancing the clock to its
+// timestamp. It returns false if no events are pending.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(queuedEvent)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the clock passes `until`.
+// Events scheduled at exactly `until` still run. It returns the number of
+// events executed.
+func (e *Engine) Run(until Time) int {
+	executed := 0
+	for len(e.queue) > 0 && e.queue[0].at <= until {
+		e.Step()
+		executed++
+	}
+	if e.now < until && len(e.queue) == 0 {
+		e.now = until
+	}
+	return executed
+}
+
+// RunAll executes all pending events (including ones scheduled by other
+// events) and returns how many ran. Use with care: a self-rescheduling
+// event makes this loop forever, so periodic processes should be driven
+// with Run(until) instead.
+func (e *Engine) RunAll() int {
+	executed := 0
+	for e.Step() {
+		executed++
+	}
+	return executed
+}

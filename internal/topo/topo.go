@@ -1,0 +1,172 @@
+// Package topo models the tiled-multicore floorplan used by the Jumanji
+// evaluation: a W×H mesh of tiles, each holding one core and one LLC bank
+// (Fig. 3 and Table II of the paper describe the default 5×4, 20-tile chip).
+//
+// Placement algorithms are topology-agnostic in the paper's sense: they only
+// consume distances provided here (bank orderings by hop count), so a
+// different Topology implementation slots in without touching the placers.
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TileID identifies a tile; cores and LLC banks are co-located per tile,
+// so TileID doubles as both a core ID and a bank ID.
+type TileID int
+
+// Point is a tile coordinate on the mesh.
+type Point struct {
+	X, Y int
+}
+
+// Mesh is a W×H grid of tiles with X-Y dimension-ordered routing.
+// Tile IDs are assigned row-major: tile (x, y) has ID y*W + x.
+type Mesh struct {
+	W, H int
+}
+
+// NewMesh returns a mesh of the given dimensions.
+// It panics if either dimension is non-positive.
+func NewMesh(w, h int) Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("topo: invalid mesh %dx%d", w, h))
+	}
+	return Mesh{W: w, H: h}
+}
+
+// Tiles returns the number of tiles in the mesh.
+func (m Mesh) Tiles() int { return m.W * m.H }
+
+// Coord returns the coordinates of tile id.
+// It panics if id is out of range.
+func (m Mesh) Coord(id TileID) Point {
+	m.check(id)
+	return Point{X: int(id) % m.W, Y: int(id) / m.W}
+}
+
+// ID returns the tile at point p. It panics if p is outside the mesh.
+func (m Mesh) ID(p Point) TileID {
+	if p.X < 0 || p.X >= m.W || p.Y < 0 || p.Y >= m.H {
+		panic(fmt.Sprintf("topo: point %+v outside %dx%d mesh", p, m.W, m.H))
+	}
+	return TileID(p.Y*m.W + p.X)
+}
+
+func (m Mesh) check(id TileID) {
+	if id < 0 || int(id) >= m.Tiles() {
+		panic(fmt.Sprintf("topo: tile %d outside %dx%d mesh", id, m.W, m.H))
+	}
+}
+
+// Hops returns the number of network hops between two tiles under X-Y
+// routing, i.e. their Manhattan distance. A tile is 0 hops from itself
+// (local bank accesses do not traverse the network).
+func (m Mesh) Hops(a, b TileID) int {
+	pa, pb := m.Coord(a), m.Coord(b)
+	return abs(pa.X-pb.X) + abs(pa.Y-pb.Y)
+}
+
+// Route returns the sequence of tiles a flit visits travelling from a to b
+// under X-Y dimension-ordered routing, including both endpoints.
+func (m Mesh) Route(a, b TileID) []TileID {
+	pa, pb := m.Coord(a), m.Coord(b)
+	path := []TileID{a}
+	cur := pa
+	for cur.X != pb.X {
+		cur.X += sign(pb.X - cur.X)
+		path = append(path, m.ID(cur))
+	}
+	for cur.Y != pb.Y {
+		cur.Y += sign(pb.Y - cur.Y)
+		path = append(path, m.ID(cur))
+	}
+	return path
+}
+
+// BanksByDistance returns all tile IDs ordered by hop distance from tile
+// `from`, closest first. Ties are broken by tile ID so the ordering is
+// deterministic; this is the sortBanksByDistance step of Listing 2.
+func (m Mesh) BanksByDistance(from TileID) []TileID {
+	m.check(from)
+	banks := make([]TileID, m.Tiles())
+	for i := range banks {
+		banks[i] = TileID(i)
+	}
+	sort.Slice(banks, func(i, j int) bool {
+		di, dj := m.Hops(from, banks[i]), m.Hops(from, banks[j])
+		if di != dj {
+			return di < dj
+		}
+		return banks[i] < banks[j]
+	})
+	return banks
+}
+
+// Corners returns the four corner tiles of the mesh in the order
+// top-left, top-right, bottom-left, bottom-right. The paper pins memory
+// controllers and latency-critical applications at chip corners.
+func (m Mesh) Corners() [4]TileID {
+	return [4]TileID{
+		m.ID(Point{0, 0}),
+		m.ID(Point{m.W - 1, 0}),
+		m.ID(Point{0, m.H - 1}),
+		m.ID(Point{m.W - 1, m.H - 1}),
+	}
+}
+
+// Quadrant returns which quadrant (0..3) a tile falls into, splitting the
+// mesh down the middle in both dimensions. The case-study workload clusters
+// each VM's threads in one quadrant (Fig. 2).
+func (m Mesh) Quadrant(id TileID) int {
+	p := m.Coord(id)
+	q := 0
+	if p.X >= (m.W+1)/2 {
+		q++
+	}
+	if p.Y >= (m.H+1)/2 {
+		q += 2
+	}
+	return q
+}
+
+// AvgHops returns the mean hop distance from tile `from` to the given banks,
+// weighted by the share weights (same length as banks). Weights must be
+// non-negative and sum to a positive value; AvgHops panics otherwise.
+// This is the quantity the epoch performance model uses for LLC hit latency.
+func (m Mesh) AvgHops(from TileID, banks []TileID, weights []float64) float64 {
+	if len(banks) != len(weights) {
+		panic("topo: AvgHops banks/weights length mismatch")
+	}
+	total, sum := 0.0, 0.0
+	for i, b := range banks {
+		w := weights[i]
+		if w < 0 {
+			panic("topo: AvgHops negative weight")
+		}
+		total += w * float64(m.Hops(from, b))
+		sum += w
+	}
+	if sum <= 0 {
+		panic("topo: AvgHops weights sum to zero")
+	}
+	return total / sum
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}

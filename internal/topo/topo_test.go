@@ -1,0 +1,196 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m := NewMesh(5, 4)
+	if m.Tiles() != 20 {
+		t.Fatalf("Tiles = %d, want 20", m.Tiles())
+	}
+	if got := m.Coord(0); got != (Point{0, 0}) {
+		t.Errorf("Coord(0) = %+v", got)
+	}
+	if got := m.Coord(19); got != (Point{4, 3}) {
+		t.Errorf("Coord(19) = %+v", got)
+	}
+	if got := m.ID(Point{2, 1}); got != 7 {
+		t.Errorf("ID(2,1) = %d, want 7", got)
+	}
+}
+
+func TestNewMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMesh(0, 4) should panic")
+		}
+	}()
+	NewMesh(0, 4)
+}
+
+func TestHops(t *testing.T) {
+	m := NewMesh(5, 4)
+	tests := []struct {
+		a, b TileID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 4, 4},
+		{0, 19, 7},
+		{7, 7, 0},
+		{5, 6, 1},
+	}
+	for _, tt := range tests {
+		if got := m.Hops(tt.a, tt.b); got != tt.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := m.Hops(tt.b, tt.a); got != tt.want {
+			t.Errorf("Hops(%d,%d) (reversed) = %d, want %d", tt.b, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestHopsPropertyMatchesRouteLength(t *testing.T) {
+	m := NewMesh(5, 4)
+	f := func(ar, br uint8) bool {
+		a := TileID(int(ar) % m.Tiles())
+		b := TileID(int(br) % m.Tiles())
+		route := m.Route(a, b)
+		return len(route)-1 == m.Hops(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteEndpointsAndAdjacency(t *testing.T) {
+	m := NewMesh(5, 4)
+	route := m.Route(0, 19)
+	if route[0] != 0 || route[len(route)-1] != 19 {
+		t.Fatalf("Route endpoints wrong: %v", route)
+	}
+	for i := 1; i < len(route); i++ {
+		if m.Hops(route[i-1], route[i]) != 1 {
+			t.Fatalf("Route step %d not adjacent: %v", i, route)
+		}
+	}
+	// X-Y routing goes X first: from (0,0) to (4,3) the second tile is (1,0)=1.
+	if route[1] != 1 {
+		t.Errorf("X-Y routing should move in X first, got second tile %d", route[1])
+	}
+}
+
+func TestBanksByDistance(t *testing.T) {
+	m := NewMesh(5, 4)
+	banks := m.BanksByDistance(0)
+	if len(banks) != 20 {
+		t.Fatalf("BanksByDistance returned %d banks", len(banks))
+	}
+	if banks[0] != 0 {
+		t.Errorf("closest bank to 0 should be 0, got %d", banks[0])
+	}
+	// Distances must be non-decreasing.
+	for i := 1; i < len(banks); i++ {
+		if m.Hops(0, banks[i]) < m.Hops(0, banks[i-1]) {
+			t.Fatalf("BanksByDistance not sorted at index %d", i)
+		}
+	}
+	// Must be a permutation.
+	seen := make(map[TileID]bool)
+	for _, b := range banks {
+		if seen[b] {
+			t.Fatalf("duplicate bank %d", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestBanksByDistancePermutationProperty(t *testing.T) {
+	m := NewMesh(5, 4)
+	f := func(fr uint8) bool {
+		from := TileID(int(fr) % m.Tiles())
+		banks := m.BanksByDistance(from)
+		if len(banks) != m.Tiles() {
+			return false
+		}
+		seen := make(map[TileID]bool, len(banks))
+		prev := -1
+		for _, b := range banks {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+			d := m.Hops(from, b)
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorners(t *testing.T) {
+	m := NewMesh(5, 4)
+	c := m.Corners()
+	want := [4]TileID{0, 4, 15, 19}
+	if c != want {
+		t.Errorf("Corners = %v, want %v", c, want)
+	}
+}
+
+func TestQuadrant(t *testing.T) {
+	m := NewMesh(4, 4)
+	tests := []struct {
+		id   TileID
+		want int
+	}{
+		{0, 0},  // (0,0)
+		{3, 1},  // (3,0)
+		{12, 2}, // (0,3)
+		{15, 3}, // (3,3)
+	}
+	for _, tt := range tests {
+		if got := m.Quadrant(tt.id); got != tt.want {
+			t.Errorf("Quadrant(%d) = %d, want %d", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestAvgHops(t *testing.T) {
+	m := NewMesh(5, 4)
+	// Equal weights over tiles 0 (0 hops) and 2 (2 hops) = 1 hop average.
+	got := m.AvgHops(0, []TileID{0, 2}, []float64{1, 1})
+	if got != 1 {
+		t.Errorf("AvgHops = %v, want 1", got)
+	}
+	// Weighted toward the far bank.
+	got = m.AvgHops(0, []TileID{0, 2}, []float64{1, 3})
+	if got != 1.5 {
+		t.Errorf("AvgHops weighted = %v, want 1.5", got)
+	}
+}
+
+func TestAvgHopsPanics(t *testing.T) {
+	m := NewMesh(2, 2)
+	cases := []func(){
+		func() { m.AvgHops(0, []TileID{0}, []float64{1, 2}) },
+		func() { m.AvgHops(0, []TileID{0}, []float64{-1}) },
+		func() { m.AvgHops(0, []TileID{0}, []float64{0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,53 @@
+package vtb
+
+import (
+	"testing"
+
+	"jumanji/internal/topo"
+)
+
+// FuzzDescriptor checks the apportionment invariants for arbitrary share
+// vectors: exactly DescriptorEntries entries, every entry a bank with a
+// positive share, and per-bank entry counts within one slot of exact
+// proportionality.
+func FuzzDescriptor(f *testing.F) {
+	f.Add([]byte{1, 1})
+	f.Add([]byte{3, 0, 7, 200})
+	f.Add([]byte{255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 32 {
+			data = data[:32]
+		}
+		shares := make(map[topo.TileID]float64)
+		total := 0.0
+		for i, b := range data {
+			shares[topo.TileID(i)] = float64(b)
+			total += float64(b)
+		}
+		if total == 0 {
+			return // all-zero shares panic by contract
+		}
+		d := NewDescriptor(shares)
+		counts := map[topo.TileID]int{}
+		for _, b := range d {
+			counts[b]++
+		}
+		sum := 0
+		for b, c := range counts {
+			if shares[b] == 0 {
+				t.Fatalf("bank %d has entries but zero share", b)
+			}
+			exact := shares[b] / total * DescriptorEntries
+			if float64(c) < exact-1.0-1e-9 || float64(c) > exact+1.0+1e-9 {
+				t.Fatalf("bank %d has %d entries, exact share %.2f", b, c, exact)
+			}
+			sum += c
+		}
+		if sum != DescriptorEntries {
+			t.Fatalf("descriptor has %d entries", sum)
+		}
+	})
+}

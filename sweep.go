@@ -1,0 +1,51 @@
+package jumanji
+
+import (
+	"fmt"
+
+	"jumanji/internal/system"
+)
+
+// TailPoint is one point of the Fig. 8 sweep: the latency-critical
+// application's normalized p95 tail latency at a fixed LLC allocation,
+// placed S-NUCA (striped, way-partitioned) vs D-NUCA (nearest banks).
+type TailPoint struct {
+	AllocMB       float64
+	NormTailSNUCA float64
+	NormTailDNUCA float64
+}
+
+// TailVsAllocation reproduces Fig. 8: it runs the named latency-critical
+// application alone at high load with fixed allocations and reports the
+// normalized tail for both placements. Values above 1 violate the
+// deadline; the D-NUCA column should cross below 1 at a smaller allocation
+// than the S-NUCA column.
+func TailVsAllocation(opts Options, latCrit string, allocsMB []float64) ([]TailPoint, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(allocsMB) == 0 {
+		return nil, fmt.Errorf("jumanji: no allocations to sweep")
+	}
+	cfg := opts.systemConfig()
+	wl, err := system.BuildVMWorkload(cfg.Machine,
+		[]system.VMSpec{{LatCrit: []string{latCrit}}}, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TailPoint, len(allocsMB))
+	for i, mb := range allocsMB {
+		if mb <= 0 {
+			return nil, fmt.Errorf("jumanji: non-positive allocation %g MB", mb)
+		}
+		bytes := mb * (1 << 20)
+		s := system.RunFixedLat(cfg, wl, bytes, false, opts.Epochs, opts.Warmup)
+		d := system.RunFixedLat(cfg, wl, bytes, true, opts.Epochs, opts.Warmup)
+		out[i] = TailPoint{
+			AllocMB:       mb,
+			NormTailSNUCA: s.Apps[0].NormTail,
+			NormTailDNUCA: d.Apps[0].NormTail,
+		}
+	}
+	return out, nil
+}
