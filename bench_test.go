@@ -8,11 +8,13 @@ package jumanji
 // benchmark output doubles as a results table (see EXPERIMENTS.md).
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
 	"jumanji/internal/core"
 	"jumanji/internal/harness"
+	"jumanji/internal/obs"
 	"jumanji/internal/system"
 )
 
@@ -269,4 +271,42 @@ func benchInput(cfg system.Config, wl system.Workload) *core.Input {
 		in.Apps = append(in.Apps, spec)
 	}
 	return in
+}
+
+// BenchmarkObsOverhead is the observability layer's overhead guard: the
+// same case-study run with no sinks (the production default — every
+// instrumentation point reduces to a nil check) versus all three sinks
+// enabled and writing to io.Discard. Compare ns/op between the sub-
+// benchmarks; the disabled case must stay within ~2% of a build without
+// instrumentation, and the README's zero-cost claim rests on this number:
+//
+//	go test -bench=ObsOverhead -count=5 .
+func BenchmarkObsOverhead(b *testing.B) {
+	setup := func(b *testing.B) (system.Config, system.Workload) {
+		b.Helper()
+		cfg := system.DefaultConfig()
+		rng := rand.New(rand.NewSource(1))
+		wl, err := system.CaseStudyWorkload(cfg.Machine, "xapian", rng, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cfg, wl
+	}
+	b.Run("disabled", func(b *testing.B) {
+		cfg, wl := setup(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		cfg, wl := setup(b)
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Events = obs.NewEventLog(io.Discard)
+		cfg.Trace = obs.NewTrace(io.Discard)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
+		}
+	})
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"jumanji/internal/harness"
+	"jumanji/internal/obs"
 )
 
 func main() {
@@ -26,23 +27,28 @@ func main() {
 		paper = flag.Bool("paper", false, "use the paper's protocol scale (40 mixes; slow)")
 		toCSV = flag.Bool("csv", false, "emit the figure's series as CSV (figures 4, 8, 12, 17, 18)")
 	)
+	var sinks obs.CLI
+	sinks.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := sinks.Open(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 
 	o := harness.QuickOptions()
 	if *paper {
 		o = harness.PaperOptions()
 	}
+	o.Metrics, o.Events, o.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
 
-	if *all {
+	switch {
+	case *all:
 		for _, f := range []int{4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18} {
 			renderFig(f, o)
 		}
 		for _, t := range []int{1, 2, 3} {
 			renderTable(t, o)
 		}
-		return
-	}
-	switch {
 	case *fig != 0 && *toCSV:
 		if err := harness.CSV(os.Stdout, *fig, o); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
@@ -55,6 +61,10 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := sinks.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
 	}
 }
 

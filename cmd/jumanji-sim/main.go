@@ -8,6 +8,7 @@
 //	jumanji-sim -design jumanji -lc xapian
 //	jumanji-sim -design jigsaw -lc mixed -load low -epochs 120
 //	jumanji-sim -design all -vms 12 -seed 3
+//	jumanji-sim -design all -events out.jsonl -tracefile out.trace.json
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"jumanji"
+	"jumanji/internal/obs"
 )
 
 func main() {
@@ -33,12 +35,18 @@ func main() {
 		perApp     = flag.Bool("apps", false, "print per-application metrics")
 		asJSON     = flag.Bool("json", false, "emit results as JSON")
 	)
+	var sinks obs.CLI
+	sinks.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := sinks.Open(); err != nil {
+		fatal(err)
+	}
 
 	opts := jumanji.DefaultOptions()
 	opts.Epochs, opts.Warmup, opts.Seed = *epochs, *warmup, *seed
 	opts.RouterDelay = *router
 	opts.HighLoad = *load != "low"
+	opts.Metrics, opts.Events, opts.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
 
 	build := workloadBuilder(*lc, *vms, *seed)
 
@@ -55,6 +63,9 @@ func main() {
 
 	results, err := jumanji.Compare(opts, build, designs...)
 	if err != nil {
+		fatal(err)
+	}
+	if err := sinks.Close(); err != nil {
 		fatal(err)
 	}
 

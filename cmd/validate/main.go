@@ -6,6 +6,10 @@
 // granted allocation, and NoC distance to data — against what the caches
 // actually did. Small errors here are what justify using the fast epoch
 // model for the paper's large sweeps (DESIGN.md §1).
+//
+// The run is instrumented with a metric registry (internal/obs) and also
+// cross-checks the instrumentation itself: the registry's per-bank miss
+// counters, summed, must equal the hierarchy's memory-load total.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"jumanji/internal/core"
 	"jumanji/internal/driver"
+	"jumanji/internal/obs"
 )
 
 func main() {
@@ -36,15 +41,24 @@ func main() {
 	}
 
 	cfg := driver.StandardValidationConfig(placer)
-	rows, err := driver.Validate(cfg, *epochs)
+	cfg.Metrics = obs.NewRegistry()
+	d, err := driver.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
 		os.Exit(1)
 	}
+	rows := driver.ValidateDriver(d, *epochs)
 	fmt.Printf("Detailed-vs-model cross-check under %s (%d epochs):\n\n", placer.Name(), *epochs)
 	driver.RenderValidation(os.Stdout, rows)
 	fmt.Println()
 	fmt.Println("miss(pred): UMON-profiled curve evaluated at the granted allocation")
 	fmt.Println("miss(meas): actual LLC miss ratio in the trace-driven hierarchy")
 	fmt.Println("hops(pred): capacity-weighted placement distance; hops(meas): NoC ground truth")
+	fmt.Println()
+	if err := d.CheckCounters(); err != nil {
+		fmt.Fprintln(os.Stderr, "validate: instrumentation cross-check FAILED:", err)
+		os.Exit(1)
+	}
+	loads := cfg.Metrics.Counter("cache.mem.loads").Value()
+	fmt.Printf("instrumentation cross-check OK: Σ per-bank misses == mem loads == %d\n", loads)
 }

@@ -16,6 +16,8 @@ package bank
 import (
 	"fmt"
 	"math/rand"
+
+	"jumanji/internal/obs"
 )
 
 // PartitionID identifies a way-partition within a bank. In the full system a
@@ -116,6 +118,22 @@ type Bank struct {
 	// owner of every valid line evicted by a fill. An inclusive hierarchy
 	// uses it to back-invalidate private-cache copies.
 	OnEvict func(lineAddr uint64, p PartitionID)
+
+	// Optional registry metrics (nil when uninstrumented; obs metrics
+	// no-op on nil receivers, so the hot path pays one nil check).
+	obsHits, obsMisses, obsEvictions *obs.Counter
+}
+
+// Instrument registers the bank's hit/miss/eviction counters under
+// prefix.{hits,misses,evictions}. A nil registry leaves the bank
+// uninstrumented.
+func (b *Bank) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	b.obsHits = reg.Counter(prefix + ".hits")
+	b.obsMisses = reg.Counter(prefix + ".misses")
+	b.obsEvictions = reg.Counter(prefix + ".evictions")
 }
 
 // New constructs a bank. It panics on invalid configuration (sizes are
@@ -253,6 +271,7 @@ func (b *Bank) access(addr uint64, p PartitionID, write bool) bool {
 	for w := range set {
 		if set[w].valid && set[w].tag == tag {
 			st.Hits++
+			b.obsHits.Inc()
 			b.onHit(&set[w])
 			if write {
 				set[w].dirty = true
@@ -261,6 +280,7 @@ func (b *Bank) access(addr uint64, p PartitionID, write bool) bool {
 		}
 	}
 	st.Misses++
+	b.obsMisses.Inc()
 	b.updateDueling(si)
 	b.fill(si, tag, p, write)
 	return false
@@ -352,6 +372,7 @@ func (b *Bank) fill(si int, tag uint64, p PartitionID, write bool) {
 	if set[victim].valid {
 		vst := b.statsFor(set[victim].part)
 		vst.Evictions++
+		b.obsEvictions.Inc()
 		if set[victim].dirty {
 			vst.Writebacks++
 		}

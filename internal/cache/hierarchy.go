@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"jumanji/internal/bank"
+	"jumanji/internal/obs"
 	"jumanji/internal/topo"
 	"jumanji/internal/vtb"
 )
@@ -100,6 +101,29 @@ type Hierarchy struct {
 	Invalidations uint64
 	// WritebackInvals counts sharer invalidations caused by writes.
 	WritebackInvals uint64
+
+	// Optional registry metrics (nil when uninstrumented).
+	obsL1Hits, obsL2Hits, obsLLCHits *obs.Counter
+	obsMemLoads, obsInvals           *obs.Counter
+}
+
+// Instrument registers per-level hit counters (cache.{l1,l2,llc}.hits,
+// cache.mem.loads, cache.invalidations) and per-bank counters
+// (bank.<i>.{hits,misses,evictions}) for every LLC bank. The per-bank miss
+// counters summed over banks equal cache.mem.loads by construction —
+// cmd/validate cross-checks that invariant end to end.
+func (h *Hierarchy) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h.obsL1Hits = reg.Counter("cache.l1.hits")
+	h.obsL2Hits = reg.Counter("cache.l2.hits")
+	h.obsLLCHits = reg.Counter("cache.llc.hits")
+	h.obsMemLoads = reg.Counter("cache.mem.loads")
+	h.obsInvals = reg.Counter("cache.invalidations")
+	for i := range h.llc {
+		h.llc[i].Instrument(reg, fmt.Sprintf("bank.%d", i))
+	}
 }
 
 // New builds a hierarchy with one L1+L2 per tile and one LLC bank per tile.
@@ -180,10 +204,12 @@ func (h *Hierarchy) access(core int, addr uint64, part bank.PartitionID, write b
 	}
 	if l1Access(la, 0) {
 		st.L1Hits++
+		h.obsL1Hits.Inc()
 		return Outcome{Level: LevelL1}
 	}
 	if h.l2[core].Access(la, 0) {
 		st.L2Hits++
+		h.obsL2Hits.Inc()
 		h.markSharer(la, core)
 		return Outcome{Level: LevelL2}
 	}
@@ -201,9 +227,11 @@ func (h *Hierarchy) access(core int, addr uint64, part bank.PartitionID, write b
 	h.markSharer(la, core)
 	if hit {
 		st.LLCHits++
+		h.obsLLCHits.Inc()
 		return Outcome{Level: LevelLLC, Bank: bankID, Hops: hops}
 	}
 	st.MemLoads++
+	h.obsMemLoads.Inc()
 	return Outcome{Level: LevelMemory, Bank: bankID, Hops: hops}
 }
 
@@ -245,6 +273,7 @@ func (h *Hierarchy) backInvalidate(la uint64) {
 		n := h.l1[c].InvalidateWhere(func(a uint64) bool { return a == la })
 		n += h.l2[c].InvalidateWhere(func(a uint64) bool { return a == la })
 		h.Invalidations += uint64(n)
+		h.obsInvals.Add(uint64(n))
 	}
 	delete(h.directory, la)
 }
@@ -296,6 +325,7 @@ func (h *Hierarchy) InstallPlacement(vcID vtb.VCID, d vtb.Descriptor) int {
 		n := h.l1[c].InvalidateWhere(inval)
 		n += h.l2[c].InvalidateWhere(inval)
 		h.Invalidations += uint64(n)
+		h.obsInvals.Add(uint64(n))
 	}
 	return total
 }

@@ -3,6 +3,7 @@ package cache
 import (
 	"jumanji/internal/bank"
 	"jumanji/internal/noc"
+	"jumanji/internal/obs"
 	"jumanji/internal/sim"
 	"jumanji/internal/topo"
 )
@@ -55,6 +56,12 @@ func NewTimed(eng *sim.Engine, cfg TimedConfig) *TimedLLC {
 		t.banks[i] = bank.NewTimed(eng, cfg.Bank, cfg.BankPorts, cfg.BankLatency)
 	}
 	return t
+}
+
+// Instrument registers NoC metrics (noc.{delivered,hops,latency_cycles})
+// for the timed LLC's network. A nil registry is a no-op.
+func (t *TimedLLC) Instrument(reg *obs.Registry) {
+	t.net.Instrument(reg, "noc")
 }
 
 // Bank returns the timed bank at tile b.

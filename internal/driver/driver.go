@@ -19,6 +19,7 @@ import (
 	"jumanji/internal/cache"
 	"jumanji/internal/core"
 	"jumanji/internal/mrc"
+	"jumanji/internal/obs"
 	"jumanji/internal/topo"
 	"jumanji/internal/trace"
 	"jumanji/internal/umon"
@@ -52,6 +53,16 @@ type Config struct {
 	// UMONSamplePeriod is the 1-in-N address sampling of the profilers
 	// (≈1% in the paper). Smaller is more accurate and slower.
 	UMONSamplePeriod uint64
+
+	// Metrics, Events, and Trace are optional observability sinks
+	// (internal/obs), all nil by default and nil-safe. Metrics
+	// instruments the hierarchy (per-level and per-bank counters) and
+	// the UMONs; Events receives driver_epoch JSONL records with the
+	// installed placements, way masks, UMON curve snapshots, and
+	// measured per-app stats; Trace gets one lane of per-epoch spans.
+	Metrics *obs.Registry
+	Events  *obs.EventLog
+	Trace   *obs.Trace
 }
 
 // AppStats is one app's measured behaviour for an epoch.
@@ -81,7 +92,13 @@ type Driver struct {
 	umons  []*umon.Monitor
 	epoch  int
 	placed *core.Placement
+	lane   int // trace lane (0 when tracing is off)
 }
+
+// driverEpochUs is the nominal trace duration of one driver epoch in
+// microseconds. The driver replays a fixed access budget per epoch rather
+// than counting cycles, so trace timestamps use this nominal scale.
+const driverEpochUs = 1000
 
 // New validates the configuration and builds the hierarchy.
 func New(cfg Config) (*Driver, error) {
@@ -127,6 +144,14 @@ func New(cfg Config) (*Driver, error) {
 		}
 		d.umons = append(d.umons, umon.New(bucketLines, points, lineSize, cfg.UMONSamplePeriod))
 	}
+	if cfg.Metrics != nil {
+		h.Instrument(cfg.Metrics)
+		for i, a := range cfg.Apps {
+			d.umons[i].Instrument(cfg.Metrics, fmt.Sprintf("umon.app%d.%s", i, a.Name))
+		}
+	}
+	d.lane = cfg.Trace.Lane("driver: " + cfg.Placer.Name())
+	cfg.Trace.ThreadName(d.lane, 0, "epochs")
 	return d, nil
 }
 
@@ -253,8 +278,76 @@ func (d *Driver) RunEpoch() EpochStats {
 		s.BanksOccupied = len(banks)
 		_ = a
 	}
+	d.observeEpoch(out, pl)
 	d.epoch++
 	return out
+}
+
+// observeEpoch emits the epoch's driver_epoch record and trace span.
+func (d *Driver) observeEpoch(out EpochStats, pl *core.Placement) {
+	if d.cfg.Events.Enabled() {
+		ev := obs.DriverEpoch{Epoch: out.Epoch, InvalidatedLines: out.Invalidated}
+		for i, a := range d.cfg.Apps {
+			id := core.AppID(i)
+			banks, _ := pl.BanksOf(id)
+			masked := 0
+			for _, b := range banks {
+				if pl.WayMasks(b)[id] != 0 {
+					masked++
+				}
+			}
+			ev.Installs = append(ev.Installs, obs.VTBInstall{
+				App: i, Name: a.Name, Banks: len(banks),
+				TotalBytes: pl.TotalOf(id), MaskedBanks: masked,
+			})
+			curve := d.umons[i].MissRatioCurve()
+			ev.UMON = append(ev.UMON, obs.UMONSnapshot{
+				App: i, Name: a.Name, UnitBytes: curve.Unit, MissRatio: curve.M,
+			})
+			s := out.PerApp[i]
+			ev.Apps = append(ev.Apps, obs.DriverAppStats{
+				App: i, Name: a.Name,
+				Accesses: s.Accesses, LLCHits: s.LLCHits, MemLoads: s.MemLoads,
+				LLCMissRatio: s.LLCMissRatio, AvgHops: s.AvgHops,
+			})
+		}
+		d.cfg.Events.EmitDriverEpoch(ev)
+	}
+	if tr := d.cfg.Trace; tr.Enabled() {
+		ts := float64(out.Epoch) * driverEpochUs
+		tr.Span(d.lane, 0, "epoch", "epoch", ts, driverEpochUs, map[string]any{
+			"epoch": out.Epoch, "invalidated_lines": out.Invalidated,
+		})
+		miss := make(map[string]float64, len(out.PerApp))
+		for i, a := range d.cfg.Apps {
+			miss[fmt.Sprintf("%d:%s", i, a.Name)] = out.PerApp[i].LLCMissRatio
+		}
+		tr.Counter(d.lane, "llc miss ratio", ts, miss)
+	}
+}
+
+// CheckCounters cross-checks the instrumented hierarchy against itself: the
+// registry-counted per-bank LLC misses, summed over banks, must equal both
+// the cache.mem.loads counter and the hierarchy's own MemLoads total — every
+// LLC bank miss is exactly one memory load by construction, and the
+// instrumentation must not have drifted from the stats it shadows. It
+// errors when Metrics is nil (nothing was counted) or on any mismatch.
+func (d *Driver) CheckCounters() error {
+	reg := d.cfg.Metrics
+	if reg == nil {
+		return fmt.Errorf("driver: CheckCounters requires a metrics registry")
+	}
+	var bankMisses uint64
+	for b := 0; b < d.cfg.Machine.Banks(); b++ {
+		bankMisses += reg.Counter(fmt.Sprintf("bank.%d.misses", b)).Value()
+	}
+	memLoads := reg.Counter("cache.mem.loads").Value()
+	hierLoads := d.hier.TotalStats().MemLoads
+	if bankMisses != memLoads || memLoads != hierLoads {
+		return fmt.Errorf("driver: counter mismatch: Σ bank misses %d, cache.mem.loads %d, hierarchy MemLoads %d",
+			bankMisses, memLoads, hierLoads)
+	}
+	return nil
 }
 
 // MeasuredCurve returns the UMON-profiled miss-ratio curve for app i.

@@ -38,6 +38,14 @@ func Validate(cfg Config, epochs int) ([]ValidationRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ValidateDriver(d, epochs), nil
+}
+
+// ValidateDriver is Validate on an already-constructed driver, so callers
+// that need the driver afterwards (e.g. cmd/validate's counter cross-check)
+// can keep it.
+func ValidateDriver(d *Driver, epochs int) []ValidationRow {
+	cfg := d.cfg
 	var last EpochStats
 	for e := 0; e < epochs; e++ {
 		last = d.RunEpoch()
@@ -69,7 +77,7 @@ func Validate(cfg Config, epochs int) ([]ValidationRow, error) {
 		row.HopsError = math.Abs(row.PredictedHops - row.MeasuredHops)
 		rows[i] = row
 	}
-	return rows, nil
+	return rows
 }
 
 // RenderValidation prints the comparison table.

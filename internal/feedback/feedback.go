@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"jumanji/internal/obs"
 )
 
 // Params are the controller's tuning knobs with the paper's bolded defaults.
@@ -92,6 +94,15 @@ type Controller struct {
 	// Updates counts controller decisions; Panics counts boosts.
 	Updates uint64
 	Panics  uint64
+
+	// Optional registry metrics (nil when uninstrumented).
+	obsGrows, obsShrinks, obsPanics *obs.Counter
+}
+
+// Instrument attaches optional grow/shrink/panic decision counters.
+// Nil counters (from a nil registry) are no-ops.
+func (c *Controller) Instrument(grows, shrinks, panics *obs.Counter) {
+	c.obsGrows, c.obsShrinks, c.obsPanics = grows, shrinks, panics
 }
 
 // New returns a controller starting at initial bytes, bounded to
@@ -168,6 +179,7 @@ func (c *Controller) Update(tail float64) float64 {
 	switch {
 	case tail > c.params.PanicAt*c.deadline:
 		c.Panics++
+		c.obsPanics.Inc()
 		c.comfortable = 0
 		if c.size < c.panicSize {
 			c.size = c.panicSize
@@ -175,11 +187,13 @@ func (c *Controller) Update(tail float64) float64 {
 	case tail > c.params.TargetHigh*c.deadline:
 		c.comfortable = 0
 		c.size *= 1 + c.params.Step
+		c.obsGrows.Inc()
 	case tail < c.params.TargetLow*c.deadline:
 		c.comfortable++
 		if c.comfortable >= c.params.ShrinkPatience {
 			c.comfortable = 0
 			c.size *= 1 - c.params.Step
+			c.obsShrinks.Inc()
 		}
 	default:
 		c.comfortable = 0

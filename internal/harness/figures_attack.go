@@ -89,7 +89,7 @@ type Fig12Result struct {
 // placement is stable and lower.
 func Fig12(o Options) Fig12Result {
 	o.validate()
-	cfg := system.DefaultConfig()
+	cfg := o.systemConfig()
 	var res Fig12Result
 	for mix := 0; mix < o.Mixes; mix++ {
 		rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))

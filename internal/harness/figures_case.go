@@ -23,7 +23,7 @@ type Fig4Result struct {
 // VM-Part, Jigsaw, and Jumanji.
 func Fig4(o Options) Fig4Result {
 	o.validate()
-	cfg := system.DefaultConfig()
+	cfg := o.systemConfig()
 	cfg.Seed = o.Seed
 	rng := rand.New(rand.NewSource(o.Seed))
 	wl, err := system.CaseStudyWorkload(cfg.Machine, "xapian", rng, true)

@@ -97,7 +97,7 @@ type Fig15Row struct {
 // memory energy; the way-partitioned S-NUCAs pay extra misses.
 func Fig15(o Options) []Fig15Row {
 	o.validate()
-	cfg := system.DefaultConfig()
+	cfg := o.systemConfig()
 	placers := mainDesigns()
 	perKI := make([]energy.Breakdown, len(placers))
 	for mix := 0; mix < o.Mixes; mix++ {

@@ -132,7 +132,7 @@ func Fig18(o Options) []Fig18Row {
 	for _, rd := range []int{1, 2, 3} {
 		var speedups []float64
 		for mix := 0; mix < o.Mixes; mix++ {
-			cfg := system.DefaultConfig()
+			cfg := o.systemConfig()
 			cfg.NoC.RouterDelay = sim.Time(rd)
 			cfg.Seed = o.Seed + int64(mix)
 			rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))

@@ -22,7 +22,7 @@ type Fig8Point struct {
 // vs D-NUCA (nearest banks).
 func Fig8(o Options) []Fig8Point {
 	o.validate()
-	cfg := system.DefaultConfig()
+	cfg := o.systemConfig()
 	cfg.Seed = o.Seed
 	wl, err := system.BuildVMWorkload(cfg.Machine, []system.VMSpec{{LatCrit: []string{"xapian"}}}, nil, true)
 	if err != nil {
@@ -76,7 +76,7 @@ func Fig9(o Options) []Fig9Row {
 	}
 	rows := make([]Fig9Row, 0, len(variants))
 	for _, v := range variants {
-		cfg := system.DefaultConfig()
+		cfg := o.systemConfig()
 		cfg.Seed = o.Seed
 		v.mutate(&cfg.Feedback)
 		var speedups, tails []float64

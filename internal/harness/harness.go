@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"jumanji/internal/core"
+	"jumanji/internal/obs"
 	"jumanji/internal/stats"
 	"jumanji/internal/system"
 	"jumanji/internal/tailbench"
@@ -26,6 +27,13 @@ type Options struct {
 	Epochs, Warmup int
 	// Seed seeds mix generation and arrivals.
 	Seed int64
+	// Metrics, Events, and Trace are optional observability sinks
+	// (internal/obs), shared by every run the harness performs: all runs
+	// count into one registry, append to one decision log, and render as
+	// stacked lanes in one trace. Nil (the default) disables each.
+	Metrics *obs.Registry
+	Events  *obs.EventLog
+	Trace   *obs.Trace
 }
 
 // QuickOptions keeps a full figure regeneration in the seconds range.
@@ -42,6 +50,16 @@ func (o Options) validate() {
 	if o.Mixes <= 0 || o.Epochs <= 0 || o.Warmup < 0 || o.Warmup >= o.Epochs {
 		panic(fmt.Sprintf("harness: invalid options %+v", o))
 	}
+}
+
+// systemConfig returns the default machine configuration with the
+// harness's observability sinks attached. Every figure's run sites build
+// their config through this so -events/-tracefile/-metrics cover all of
+// them.
+func (o Options) systemConfig() system.Config {
+	cfg := system.DefaultConfig()
+	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
+	return cfg
 }
 
 // designs returns the four designs of the main comparison plus Static.
@@ -70,7 +88,7 @@ type DesignSummary struct {
 // summaries. The buildWorkload callback makes one workload per mix.
 func runMixes(o Options, buildWorkload func(m core.Machine, rng *rand.Rand) (system.Workload, error), placers []core.Placer) []DesignSummary {
 	o.validate()
-	cfg := system.DefaultConfig()
+	cfg := o.systemConfig()
 	tails := make([][]float64, len(placers))
 	speedups := make([][]float64, len(placers))
 	vulns := make([]float64, len(placers))

@@ -9,6 +9,7 @@ package noc
 import (
 	"fmt"
 
+	"jumanji/internal/obs"
 	"jumanji/internal/sim"
 	"jumanji/internal/topo"
 )
@@ -71,6 +72,23 @@ type Network struct {
 
 	// Delivered counts messages that completed traversal.
 	Delivered uint64
+
+	// Optional registry metrics (nil when uninstrumented).
+	obsDelivered *obs.Counter
+	obsHops      *obs.Counter
+	obsLatency   *obs.Histogram
+}
+
+// Instrument registers delivery count, hop count, and end-to-end latency
+// metrics under prefix.{delivered,hops,latency_cycles}. A nil registry
+// leaves the network uninstrumented.
+func (n *Network) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	n.obsDelivered = reg.Counter(prefix + ".delivered")
+	n.obsHops = reg.Counter(prefix + ".hops")
+	n.obsLatency = reg.Histogram(prefix+".latency_cycles", 0, 512, 64)
 }
 
 // New builds a network over the mesh on the given engine.
@@ -118,6 +136,9 @@ func (n *Network) Send(from, to topo.TileID, payloadBytes int, done func(latency
 	hop = func(i int) {
 		if i == len(route)-1 {
 			n.Delivered++
+			n.obsDelivered.Inc()
+			n.obsHops.Add(uint64(len(route) - 1))
+			n.obsLatency.Observe(float64(n.eng.Now() - start))
 			if done != nil {
 				done(n.eng.Now() - start)
 			}

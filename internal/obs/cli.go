@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the standard observability flags shared by the commands
+// (-events, -tracefile, -metrics, -cpuprofile, -memprofile) and owns the
+// files behind them. Usage:
+//
+//	var cli obs.CLI
+//	cli.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	if err := cli.Open(); err != nil { ... }
+//	defer cli.Close()
+//	cfg.Metrics, cfg.Events, cfg.Trace = cli.Registry(), cli.Events(), cli.Trace()
+//
+// Flags left empty cost nothing: the accessors return nil and every sink
+// method no-ops on nil.
+type CLI struct {
+	EventsPath  string
+	TracePath   string
+	MetricsPath string
+	CPUProfile  string
+	MemProfile  string
+
+	registry *Registry
+	events   *EventLog
+	trace    *Trace
+	files    []*os.File
+	cpuOn    bool
+}
+
+// RegisterFlags declares the observability flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.EventsPath, "events", "", "write the JSONL epoch decision log to this file")
+	fs.StringVar(&c.TracePath, "tracefile", "", "write a Chrome trace-event file (loadable in Perfetto) to this path")
+	fs.StringVar(&c.MetricsPath, "metrics", "", "dump the metric registry as text to this file after the run, or '-' for stderr")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+func (c *CLI) create(path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	c.files = append(c.files, f)
+	return f, nil
+}
+
+// Open creates the requested output files and starts CPU profiling. It is a
+// no-op for every flag left empty.
+func (c *CLI) Open() error {
+	if c.EventsPath != "" {
+		f, err := c.create(c.EventsPath)
+		if err != nil {
+			return err
+		}
+		c.events = NewEventLog(f)
+	}
+	if c.TracePath != "" {
+		f, err := c.create(c.TracePath)
+		if err != nil {
+			return err
+		}
+		c.trace = NewTrace(f)
+	}
+	if c.MetricsPath != "" {
+		c.registry = NewRegistry()
+	}
+	if c.CPUProfile != "" {
+		f, err := c.create(c.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		c.cpuOn = true
+	}
+	return nil
+}
+
+// Registry returns the metric registry (nil when -metrics is unset).
+func (c *CLI) Registry() *Registry { return c.registry }
+
+// Events returns the decision log (nil when -events is unset).
+func (c *CLI) Events() *EventLog { return c.events }
+
+// Trace returns the trace sink (nil when -tracefile is unset).
+func (c *CLI) Trace() *Trace { return c.trace }
+
+// Close finishes every sink: stops the CPU profile, writes the heap
+// profile, flushes the trace, dumps the metrics, and closes the files. It
+// returns the first error but always attempts every step.
+func (c *CLI) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.cpuOn {
+		pprof.StopCPUProfile()
+		c.cpuOn = false
+	}
+	if c.MemProfile != "" {
+		if f, err := c.create(c.MemProfile); err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // fresh statistics for the heap profile
+			keep(pprof.WriteHeapProfile(f))
+		}
+	}
+	if c.trace != nil {
+		keep(c.trace.Close())
+	}
+	if c.events != nil {
+		keep(c.events.Err())
+	}
+	if c.registry != nil {
+		if c.MetricsPath == "-" {
+			keep(c.registry.WriteText(os.Stderr))
+		} else if f, err := c.create(c.MetricsPath); err != nil {
+			keep(err)
+		} else {
+			keep(c.registry.WriteText(f))
+		}
+	}
+	for _, f := range c.files {
+		if err := f.Close(); err != nil {
+			keep(fmt.Errorf("obs: closing %s: %w", f.Name(), err))
+		}
+	}
+	c.files = nil
+	return first
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion is stamped into every decision-log record as "v". Bump it
+// whenever a payload struct changes incompatibly; ValidateEvent rejects
+// records from other versions.
+const SchemaVersion = 1
+
+// Event types, one per payload struct. Every JSONL record is an envelope
+//
+//	{"v":1, "seq":N, "type":"<type>", "data":{...}}
+//
+// where data's shape is fixed by the type (see the payload structs below
+// and the "Observability" section of README.md).
+const (
+	TypeRunStart    = "run_start"
+	TypeEpoch       = "epoch"
+	TypeDriverEpoch = "driver_epoch"
+	TypeRunEnd      = "run_end"
+)
+
+// AppInfo describes one application in a run_start record.
+type AppInfo struct {
+	App             int     `json:"app"`
+	Name            string  `json:"name"`
+	VM              int     `json:"vm"`
+	Core            int     `json:"core"`
+	LatencyCritical bool    `json:"lat_crit"`
+	DeadlineCycles  float64 `json:"deadline_cycles,omitempty"`
+}
+
+// RunStart opens a run's records: design, protocol, machine, applications.
+type RunStart struct {
+	Design    string    `json:"design"`
+	Epochs    int       `json:"epochs"`
+	Warmup    int       `json:"warmup"`
+	Banks     int       `json:"banks"`
+	BankBytes float64   `json:"bank_bytes"`
+	Apps      []AppInfo `json:"apps"`
+}
+
+// ControllerAction is one latency-critical application's feedback decision
+// at a reconfiguration: the new allocation target, its delta against the
+// previous reconfiguration, and the classified action. LatNorm is the
+// epoch's mean request latency divided by the deadline (the Fig. 4 signal);
+// DeadlineViolated flags LatNorm > 1.
+type ControllerAction struct {
+	App              int     `json:"app"`
+	Name             string  `json:"name"`
+	AllocBytes       float64 `json:"alloc_bytes"`
+	DeltaBytes       float64 `json:"delta_bytes"`
+	Action           string  `json:"action"` // grow | shrink | hold | panic | fixed
+	LatNorm          float64 `json:"lat_norm,omitempty"`
+	DeadlineViolated bool    `json:"deadline_violated,omitempty"`
+}
+
+// PlacementChange is one application's placement at a reconfiguration:
+// how many banks it spans, its total capacity, and the fraction of its
+// cached data the change invalidated (the Sec. IV-A coherence walk).
+type PlacementChange struct {
+	App           int     `json:"app"`
+	Name          string  `json:"name"`
+	Banks         int     `json:"banks"`
+	TotalBytes    float64 `json:"total_bytes"`
+	MovedFraction float64 `json:"moved_fraction"`
+}
+
+// Epoch is one analytic-model epoch's decisions and observables. Actions
+// and Placement are present only on epochs where the placer ran.
+type Epoch struct {
+	Epoch         int                `json:"epoch"`
+	Reconfigured  bool               `json:"reconfigured"`
+	Actions       []ControllerAction `json:"actions,omitempty"`
+	Placement     []PlacementChange  `json:"placement,omitempty"`
+	Vulnerability float64            `json:"vulnerability"`
+}
+
+// VTBInstall records one virtual cache's descriptor install in the
+// detailed driver: banks spanned, bytes granted, and how many banks got a
+// way mask for the app (the Intel CAT configuration).
+type VTBInstall struct {
+	App         int     `json:"app"`
+	Name        string  `json:"name"`
+	Banks       int     `json:"banks"`
+	TotalBytes  float64 `json:"total_bytes"`
+	MaskedBanks int     `json:"masked_banks"`
+}
+
+// UMONSnapshot is one application's profiled miss-ratio curve: MissRatio[i]
+// is the miss ratio at a capacity of i × UnitBytes.
+type UMONSnapshot struct {
+	App       int       `json:"app"`
+	Name      string    `json:"name"`
+	UnitBytes float64   `json:"unit_bytes"`
+	MissRatio []float64 `json:"miss_ratio"`
+}
+
+// DriverAppStats is one application's measured behaviour in a driver epoch.
+type DriverAppStats struct {
+	App          int     `json:"app"`
+	Name         string  `json:"name"`
+	Accesses     uint64  `json:"accesses"`
+	LLCHits      uint64  `json:"llc_hits"`
+	MemLoads     uint64  `json:"mem_loads"`
+	LLCMissRatio float64 `json:"llc_miss_ratio"`
+	AvgHops      float64 `json:"avg_hops"`
+}
+
+// DriverEpoch is one detailed (trace-driven) epoch: the placement installed
+// into the VTB and way masks, the coherence walk's cost, the UMON-measured
+// curves the placement was computed from, and the measured outcome.
+type DriverEpoch struct {
+	Epoch            int              `json:"epoch"`
+	InvalidatedLines int              `json:"invalidated_lines"`
+	Installs         []VTBInstall     `json:"installs"`
+	UMON             []UMONSnapshot   `json:"umon,omitempty"`
+	Apps             []DriverAppStats `json:"apps"`
+}
+
+// RunEnd closes a run's records with its headline summary.
+type RunEnd struct {
+	Design               string  `json:"design"`
+	WorstNormTail        float64 `json:"worst_norm_tail"`
+	BatchWeightedSpeedup float64 `json:"batch_weighted_speedup"`
+	Vulnerability        float64 `json:"vulnerability"`
+	EnergyNJ             float64 `json:"energy_nj,omitempty"`
+}
+
+// EventLog writes the structured decision log as JSONL, one envelope per
+// line. A nil *EventLog drops everything; the emitting code needs no
+// enabled-checks beyond skipping expensive payload assembly.
+type EventLog struct {
+	enc *json.Encoder
+	seq uint64
+	err error
+}
+
+// NewEventLog returns a log writing to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// Enabled reports whether emitted records go anywhere. Callers use it to
+// skip assembling payloads for a disabled log.
+func (l *EventLog) Enabled() bool { return l != nil }
+
+// Err returns the first write error, if any. Writes after an error are
+// dropped.
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	return l.err
+}
+
+type envelope struct {
+	V    int             `json:"v"`
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+func (l *EventLog) emit(typ string, data any) {
+	if l == nil || l.err != nil {
+		return
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		l.err = err
+		return
+	}
+	l.seq++
+	if err := l.enc.Encode(envelope{V: SchemaVersion, Seq: l.seq, Type: typ, Data: raw}); err != nil {
+		l.err = err
+	}
+}
+
+// EmitRunStart writes a run_start record.
+func (l *EventLog) EmitRunStart(r RunStart) { l.emit(TypeRunStart, r) }
+
+// EmitEpoch writes an epoch record.
+func (l *EventLog) EmitEpoch(e Epoch) { l.emit(TypeEpoch, e) }
+
+// EmitDriverEpoch writes a driver_epoch record.
+func (l *EventLog) EmitDriverEpoch(e DriverEpoch) { l.emit(TypeDriverEpoch, e) }
+
+// EmitRunEnd writes a run_end record.
+func (l *EventLog) EmitRunEnd(r RunEnd) { l.emit(TypeRunEnd, r) }
+
+// ValidateEvent checks one JSONL line against the documented schema and
+// returns the record's type. It rejects unknown envelope or payload fields
+// (strict decoding), wrong schema versions, unknown types, and records
+// violating basic semantic invariants. Tests run every emitted line
+// through it, so the documented schema and the emitted bytes cannot drift
+// apart silently.
+func ValidateEvent(line []byte) (string, error) {
+	var env envelope
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return "", fmt.Errorf("obs: bad envelope: %w", err)
+	}
+	if env.V != SchemaVersion {
+		return "", fmt.Errorf("obs: schema version %d, want %d", env.V, SchemaVersion)
+	}
+	if env.Seq == 0 {
+		return "", fmt.Errorf("obs: missing or zero seq")
+	}
+	strict := func(into any) error {
+		d := json.NewDecoder(bytes.NewReader(env.Data))
+		d.DisallowUnknownFields()
+		return d.Decode(into)
+	}
+	switch env.Type {
+	case TypeRunStart:
+		var r RunStart
+		if err := strict(&r); err != nil {
+			return env.Type, fmt.Errorf("obs: bad run_start: %w", err)
+		}
+		if r.Design == "" || r.Epochs <= 0 || r.Banks <= 0 || len(r.Apps) == 0 {
+			return env.Type, fmt.Errorf("obs: run_start missing design/epochs/banks/apps: %+v", r)
+		}
+	case TypeEpoch:
+		var e Epoch
+		if err := strict(&e); err != nil {
+			return env.Type, fmt.Errorf("obs: bad epoch: %w", err)
+		}
+		if e.Epoch < 0 {
+			return env.Type, fmt.Errorf("obs: negative epoch %d", e.Epoch)
+		}
+		if !e.Reconfigured && (len(e.Actions) > 0 || len(e.Placement) > 0) {
+			return env.Type, fmt.Errorf("obs: epoch %d has decisions without a reconfiguration", e.Epoch)
+		}
+		for _, a := range e.Actions {
+			switch a.Action {
+			case "grow", "shrink", "hold", "panic", "fixed":
+			default:
+				return env.Type, fmt.Errorf("obs: epoch %d app %d has unknown action %q", e.Epoch, a.App, a.Action)
+			}
+		}
+	case TypeDriverEpoch:
+		var e DriverEpoch
+		if err := strict(&e); err != nil {
+			return env.Type, fmt.Errorf("obs: bad driver_epoch: %w", err)
+		}
+		if e.Epoch < 0 || e.InvalidatedLines < 0 || len(e.Apps) == 0 {
+			return env.Type, fmt.Errorf("obs: driver_epoch %d malformed", e.Epoch)
+		}
+		for _, u := range e.UMON {
+			if u.UnitBytes <= 0 || len(u.MissRatio) == 0 {
+				return env.Type, fmt.Errorf("obs: driver_epoch %d app %d has empty UMON snapshot", e.Epoch, u.App)
+			}
+		}
+	case TypeRunEnd:
+		var r RunEnd
+		if err := strict(&r); err != nil {
+			return env.Type, fmt.Errorf("obs: bad run_end: %w", err)
+		}
+		if r.Design == "" {
+			return env.Type, fmt.Errorf("obs: run_end missing design")
+		}
+	default:
+		return env.Type, fmt.Errorf("obs: unknown event type %q", env.Type)
+	}
+	return env.Type, nil
+}
+
+// ValidateEventLog runs ValidateEvent over every line of a JSONL log and
+// returns the count of records per type. Blank lines are skipped.
+func ValidateEventLog(data []byte) (map[string]int, error) {
+	counts := make(map[string]int)
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		typ, err := ValidateEvent(line)
+		if err != nil {
+			return counts, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		counts[typ]++
+	}
+	return counts, nil
+}

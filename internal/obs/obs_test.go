@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", 0, 1, 4)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil metrics")
+	}
+	// All of these must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Bins() != nil {
+		t.Fatal("nil metrics accumulated state")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry produced a snapshot")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote text: %q, %v", buf.String(), err)
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bank.0.hits")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	if r.Counter("bank.0.hits") != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+
+	g := r.Gauge("alloc")
+	g.Set(4)
+	g.Add(-1)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %g, want 3", g.Value())
+	}
+
+	h := r.Histogram("lat", 0, 10, 5)
+	for _, x := range []float64{-1, 0, 3, 9.9, 10, 42} {
+		h.Observe(x)
+	}
+	bins := h.Bins()
+	if h.Count() != 6 {
+		t.Fatalf("histogram count = %d, want 6", h.Count())
+	}
+	// -1 and 0 clamp/fall into bin 0; 10 and 42 clamp into the last bin.
+	if bins[0] != 2 {
+		t.Fatalf("first bin = %d, want 2 (clamped underflow plus exact lo)", bins[0])
+	}
+	if bins[4] != 3 {
+		t.Fatalf("last bin = %d, want 3 (9.9, hi, and clamped overflow)", bins[4])
+	}
+	var total uint64
+	for _, b := range bins {
+		total += b
+	}
+	if total != h.Count() {
+		t.Fatalf("bin sum %d != count %d", total, h.Count())
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bank.0.hits counter 10") {
+		t.Fatalf("text dump missing counter line:\n%s", buf.String())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestNilEventLogAndTraceAreNoOps(t *testing.T) {
+	var l *EventLog
+	if l.Enabled() {
+		t.Fatal("nil event log reports enabled")
+	}
+	l.EmitRunStart(RunStart{})
+	l.EmitEpoch(Epoch{})
+	l.EmitRunEnd(RunEnd{})
+	if l.Err() != nil {
+		t.Fatal("nil event log reported an error")
+	}
+
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	if pid := tr.Lane("x"); pid != 0 {
+		t.Fatalf("nil trace allocated pid %d", pid)
+	}
+	tr.Span(1, 0, "a", "b", 0, 1, nil)
+	tr.Instant(1, 0, "a", 0, nil)
+	tr.Counter(1, "a", 0, map[string]float64{"x": 1})
+	tr.ThreadName(1, 0, "a")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.EmitRunStart(RunStart{
+		Design: "Jumanji", Epochs: 10, Warmup: 2, Banks: 20, BankBytes: 1 << 20,
+		Apps: []AppInfo{{App: 0, Name: "xapian", LatencyCritical: true, DeadlineCycles: 5000}},
+	})
+	l.EmitEpoch(Epoch{
+		Epoch: 0, Reconfigured: true,
+		Actions: []ControllerAction{{App: 0, Name: "xapian", AllocBytes: 1 << 20, Action: "grow", LatNorm: 0.7}},
+		Placement: []PlacementChange{
+			{App: 0, Name: "xapian", Banks: 2, TotalBytes: 1 << 20, MovedFraction: 0.25},
+		},
+		Vulnerability: 1.5,
+	})
+	l.EmitEpoch(Epoch{Epoch: 1, Vulnerability: 1.2})
+	l.EmitRunEnd(RunEnd{Design: "Jumanji", WorstNormTail: 0.9, BatchWeightedSpeedup: 12.2})
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	counts, err := ValidateEventLog(buf.Bytes())
+	if err != nil {
+		t.Fatalf("emitted log fails its own schema: %v", err)
+	}
+	want := map[string]int{TypeRunStart: 1, TypeEpoch: 2, TypeRunEnd: 1}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Fatalf("%s count = %d, want %d", k, counts[k], n)
+		}
+	}
+
+	// Sequence numbers must be strictly increasing from 1.
+	var seqs []uint64
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var env struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(line, &env); err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, env.Seq)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d, want %d", i, s, i+1)
+		}
+	}
+}
+
+func TestValidateEventRejections(t *testing.T) {
+	bad := []struct {
+		name string
+		line string
+	}{
+		{"not json", `{{`},
+		{"wrong version", `{"v":99,"seq":1,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
+		{"zero seq", `{"v":1,"seq":0,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
+		{"unknown type", `{"v":1,"seq":1,"type":"mystery","data":{}}`},
+		{"unknown payload field", `{"v":1,"seq":1,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0,"extra":1}}`},
+		{"empty design", `{"v":1,"seq":1,"type":"run_end","data":{"worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
+		{"bad action", `{"v":1,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":true,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"explode"}],"vulnerability":0}}`},
+		{"actions without reconfig", `{"v":1,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":false,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"hold"}],"vulnerability":0}}`},
+	}
+	for _, tc := range bad {
+		if _, err := ValidateEvent([]byte(tc.line)); err == nil {
+			t.Errorf("%s: validated but should not", tc.name)
+		}
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	p1 := tr.Lane("Jumanji")
+	p2 := tr.Lane("Jigsaw")
+	if p1 == p2 || p1 == 0 || p2 == 0 {
+		t.Fatalf("lanes not distinct: %d, %d", p1, p2)
+	}
+	tr.ThreadName(p1, 0, "epochs")
+	tr.Span(p1, 0, "epoch", "epoch", 0, 100000, map[string]any{"epoch": 0})
+	tr.Instant(p1, 0, "reconfigure", 100000, map[string]any{"moved": 0.2})
+	tr.Counter(p1, "alloc_mb", 0, map[string]float64{"xapian": 2.5})
+	tr.Span(p2, 0, "epoch", "epoch", 0, 100000, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is safe and writes nothing more.
+	n := buf.Len()
+	if err := tr.Close(); err != nil || buf.Len() != n {
+		t.Fatal("second Close wrote more output")
+	}
+
+	events, err := ValidateTraceJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails its own validation: %v", err)
+	}
+	if events != 7 { // 2 process_name + thread_name + 2 spans + instant + counter
+		t.Fatalf("trace has %d events, want 7", events)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	if _, err := ValidateTraceJSON([]byte(`{"displayTimeUnit":"ms"}`)); err == nil {
+		t.Fatal("trace without traceEvents validated")
+	}
+	if _, err := ValidateTraceJSON([]byte(`{"traceEvents":[{"name":"","ph":"X","ts":0,"pid":1,"tid":0}]}`)); err == nil {
+		t.Fatal("unnamed event validated")
+	}
+	if _, err := ValidateTraceJSON([]byte(`{"traceEvents":[{"name":"e","ph":"Q","ts":0,"pid":1,"tid":0}]}`)); err == nil {
+		t.Fatal("unknown phase validated")
+	}
+	if _, err := ValidateTraceJSON([]byte(`{"traceEvents":[{"name":"e","ph":"X","ts":-1,"pid":1,"tid":0}]}`)); err == nil {
+		t.Fatal("negative timestamp validated")
+	}
+	if _, err := ValidateTraceJSON([]byte(`{"traceEvents":[{"name":"e","ph":"X","ts":0,"pid":0,"tid":0}]}`)); err == nil {
+		t.Fatal("zero pid validated")
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace accumulates Chrome trace events (the trace-event format consumed by
+// Perfetto and chrome://tracing) and writes them as one JSON object on
+// Close. Each simulated run gets its own lane (a trace "process"), so a
+// multi-design comparison renders as stacked per-design timelines.
+//
+// Timestamps are microseconds of *simulated* time: the analytic runner maps
+// each 100 ms epoch to its simulated offset; the detailed driver, which has
+// no cycle clock, uses one nominal millisecond per epoch.
+//
+// A nil *Trace drops everything, like the other sinks in this package.
+type Trace struct {
+	w       io.Writer
+	events  []traceEvent
+	nextPid int
+	closed  bool
+}
+
+// Trace-event phase codes emitted by this exporter.
+const (
+	phaseSpan     = "X" // complete event (ts + dur)
+	phaseInstant  = "I" // instant event
+	phaseCounter  = "C" // counter series
+	phaseMetadata = "M" // process/thread naming
+)
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTrace returns a trace writing to w on Close.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: w, nextPid: 1}
+}
+
+// Enabled reports whether events are recorded.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Lane allocates a new lane (trace process), names it, and returns its pid.
+// A nil trace returns 0, which the emitting methods in turn ignore.
+func (t *Trace) Lane(name string) int {
+	if t == nil {
+		return 0
+	}
+	pid := t.nextPid
+	t.nextPid++
+	t.events = append(t.events, traceEvent{
+		Name: "process_name", Ph: phaseMetadata, Pid: pid,
+		Args: map[string]any{"name": name},
+	})
+	return pid
+}
+
+// ThreadName names thread tid within lane pid.
+func (t *Trace) ThreadName(pid, tid int, name string) {
+	if t == nil || pid == 0 {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: phaseMetadata, Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Span records a complete event of durUs microseconds starting at tsUs.
+func (t *Trace) Span(pid, tid int, name, cat string, tsUs, durUs float64, args map[string]any) {
+	if t == nil || pid == 0 {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: phaseSpan, Ts: tsUs, Dur: durUs,
+		Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// Instant records a point event at tsUs.
+func (t *Trace) Instant(pid, tid int, name string, tsUs float64, args map[string]any) {
+	if t == nil || pid == 0 {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: phaseInstant, Ts: tsUs, Pid: pid, Tid: tid,
+		S: "t", Args: args,
+	})
+}
+
+// Counter records counter series values at tsUs; each key in values renders
+// as one stacked series under the given name.
+func (t *Trace) Counter(pid int, name string, tsUs float64, values map[string]float64) {
+	if t == nil || pid == 0 || len(values) == 0 {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: phaseCounter, Ts: tsUs, Pid: pid, Args: args,
+	})
+}
+
+// Close writes the accumulated events as {"traceEvents": [...]} and marks
+// the trace done. Further emissions and Closes are dropped. Closing a nil
+// trace is a no-op.
+func (t *Trace) Close() error {
+	if t == nil || t.closed {
+		return nil
+	}
+	t.closed = true
+	enc := json.NewEncoder(t.w)
+	return enc.Encode(traceFile{
+		TraceEvents:     t.events,
+		DisplayTimeUnit: "ms",
+	})
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ValidateTraceJSON checks an exported trace file: the top-level object
+// must carry a traceEvents array, and every event needs a name, a known
+// phase, a non-negative timestamp, and a positive pid. Tests run exported
+// traces through it so the Perfetto-loadable invariants hold by
+// construction.
+func ValidateTraceJSON(data []byte) (int, error) {
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("obs: trace file is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("obs: trace file has no traceEvents array")
+	}
+	for i, e := range f.TraceEvents {
+		if e.Name == "" {
+			return i, fmt.Errorf("obs: trace event %d has no name", i)
+		}
+		switch e.Ph {
+		case phaseSpan:
+			if e.Dur < 0 {
+				return i, fmt.Errorf("obs: span %d (%s) has negative duration", i, e.Name)
+			}
+		case phaseInstant, phaseCounter:
+		case phaseMetadata:
+			if _, ok := e.Args["name"]; !ok {
+				return i, fmt.Errorf("obs: metadata event %d has no args.name", i)
+			}
+		default:
+			return i, fmt.Errorf("obs: trace event %d has unknown phase %q", i, e.Ph)
+		}
+		if e.Ts < 0 {
+			return i, fmt.Errorf("obs: trace event %d (%s) has negative timestamp", i, e.Name)
+		}
+		if e.Pid <= 0 {
+			return i, fmt.Errorf("obs: trace event %d (%s) has non-positive pid", i, e.Name)
+		}
+	}
+	return len(f.TraceEvents), nil
+}

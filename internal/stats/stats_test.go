@@ -184,6 +184,30 @@ func TestHistogram(t *testing.T) {
 	assertPanics(t, "bad range", func() { Histogram(nil, 1, 1, 4) })
 }
 
+func TestHistogramBoundaryClamping(t *testing.T) {
+	// x == hi lands exactly on the open end of the range; it must clamp
+	// into the last bin, not index one past it.
+	bins := Histogram([]float64{1.0}, 0, 1, 4)
+	if bins[3] != 1 {
+		t.Errorf("x == hi: bins = %v, want last bin to hold it", bins)
+	}
+	// x < lo clamps into the first bin (negative index otherwise).
+	bins = Histogram([]float64{-0.001, -1e9}, 0, 1, 4)
+	if bins[0] != 2 {
+		t.Errorf("x < lo: bins = %v, want first bin to hold both", bins)
+	}
+	// x > hi clamps into the last bin.
+	bins = Histogram([]float64{1.001, 1e9}, 0, 1, 4)
+	if bins[3] != 2 {
+		t.Errorf("x > hi: bins = %v, want last bin to hold both", bins)
+	}
+	// lo itself belongs to the first bin without clamping.
+	bins = Histogram([]float64{0}, 0, 1, 4)
+	if bins[0] != 1 {
+		t.Errorf("x == lo: bins = %v, want first bin", bins)
+	}
+}
+
 func TestHistogramConservesCount(t *testing.T) {
 	f := func(raw []float64, nb uint8) bool {
 		nbins := int(nb%16) + 1

@@ -23,6 +23,7 @@ import (
 	"jumanji/internal/energy"
 	"jumanji/internal/feedback"
 	"jumanji/internal/noc"
+	"jumanji/internal/obs"
 )
 
 // Config carries the Table II machine plus model parameters.
@@ -91,6 +92,17 @@ type Config struct {
 	Energy energy.Params
 	// Seed drives the workload's stochastic arrivals.
 	Seed int64
+
+	// Metrics, Events, and Trace are optional observability sinks
+	// (internal/obs). All three are nil by default and nil-safe: a
+	// disabled sink costs the run nothing beyond a nil check. Metrics
+	// collects counters/gauges/histograms, Events receives the JSONL
+	// epoch decision log, and Trace receives Chrome trace events (one
+	// lane per run, so design comparisons sharing a Trace render as
+	// stacked timelines).
+	Metrics *obs.Registry
+	Events  *obs.EventLog
+	Trace   *obs.Trace
 }
 
 // DefaultConfig returns the paper's evaluation configuration.

@@ -1,0 +1,111 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"jumanji/internal/core"
+	"jumanji/internal/obs"
+)
+
+// TestRunObservability is the schema acceptance test for the analytic
+// layer: run the case-study workload with all three sinks attached, then
+// validate every emitted JSONL record and trace event against the
+// documented schema, and check the metric registry saw the run.
+func TestRunObservability(t *testing.T) {
+	cfg, wl := caseStudy(t, 1, true)
+	var events, traceBuf bytes.Buffer
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	cfg.Events = obs.NewEventLog(&events)
+	cfg.Trace = obs.NewTrace(&traceBuf)
+
+	res := Run(cfg, wl, core.JumanjiPlacer{}, testEpochs, testWarmup)
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if err := cfg.Events.Err(); err != nil {
+		t.Fatalf("event log error: %v", err)
+	}
+
+	counts, err := obs.ValidateEventLog(events.Bytes())
+	if err != nil {
+		t.Fatalf("event log fails schema validation: %v", err)
+	}
+	if counts[obs.TypeRunStart] != 1 || counts[obs.TypeRunEnd] != 1 {
+		t.Fatalf("got %d run_start and %d run_end, want 1 each", counts[obs.TypeRunStart], counts[obs.TypeRunEnd])
+	}
+	if counts[obs.TypeEpoch] != testEpochs {
+		t.Fatalf("got %d epoch records, want %d", counts[obs.TypeEpoch], testEpochs)
+	}
+
+	// Reconfiguration epochs must carry controller actions with sane
+	// classifications; the controllers must have acted at least once over
+	// 60 epochs of the bursty case study.
+	sawAction := false
+	for _, line := range bytes.Split(events.Bytes(), []byte("\n")) {
+		if !bytes.Contains(line, []byte(`"type":"epoch"`)) {
+			continue
+		}
+		var env struct {
+			Data obs.Epoch `json:"data"`
+		}
+		if err := json.Unmarshal(line, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Data.Reconfigured && len(env.Data.Actions) > 0 {
+			sawAction = true
+		}
+	}
+	if !sawAction {
+		t.Error("no epoch record carried controller actions")
+	}
+
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	n, err := obs.ValidateTraceJSON(traceBuf.Bytes())
+	if err != nil {
+		t.Fatalf("trace fails validation: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("empty trace")
+	}
+
+	if got := reg.Counter("system.epochs").Value(); got != uint64(testEpochs) {
+		t.Errorf("system.epochs = %d, want %d", got, testEpochs)
+	}
+	if reg.Counter("system.reconfigs").Value() == 0 {
+		t.Error("no reconfigurations counted")
+	}
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "system.epochs counter") {
+		t.Errorf("WriteText missing system.epochs:\n%s", text.String())
+	}
+}
+
+// TestRunWithoutSinksUnchanged pins the zero-cost claim's correctness half:
+// attaching sinks must not change the simulation's results.
+func TestRunWithoutSinksUnchanged(t *testing.T) {
+	cfg, wl := caseStudy(t, 2, true)
+	plain := Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
+
+	cfg2, wl2 := caseStudy(t, 2, true)
+	cfg2.Metrics = obs.NewRegistry()
+	var events, traceBuf bytes.Buffer
+	cfg2.Events = obs.NewEventLog(&events)
+	cfg2.Trace = obs.NewTrace(&traceBuf)
+	instrumented := Run(cfg2, wl2, core.JumanjiPlacer{}, 30, 10)
+
+	if plain.WorstNormTail != instrumented.WorstNormTail ||
+		plain.BatchWeightedSpeedup != instrumented.BatchWeightedSpeedup {
+		t.Fatalf("instrumentation changed results: %v/%v vs %v/%v",
+			plain.WorstNormTail, plain.BatchWeightedSpeedup,
+			instrumented.WorstNormTail, instrumented.BatchWeightedSpeedup)
+	}
+}

@@ -1,0 +1,193 @@
+package system
+
+import (
+	"fmt"
+
+	"jumanji/internal/core"
+	"jumanji/internal/feedback"
+	"jumanji/internal/obs"
+)
+
+// runObserver funnels one run's per-epoch state into the configured
+// observability sinks (Config.Metrics/Events/Trace). Every sink is
+// optional; with all three nil the observer's methods reduce to a handful
+// of nil checks per epoch, so uninstrumented runs pay nothing measurable
+// (BenchmarkObsOverhead).
+type runObserver struct {
+	cfg  *Config
+	lane int // trace lane (0 when tracing is off)
+
+	// prevSizes and prevPanics classify controller actions between
+	// reconfigurations: the allocation delta plus whether the controller
+	// panicked since the last decision point.
+	prevSizes  map[core.AppID]float64
+	prevPanics map[core.AppID]uint64
+
+	epochs    *obs.Counter
+	reconfigs *obs.Counter
+	latNorm   *obs.Histogram
+	allocs    map[core.AppID]*obs.Gauge
+}
+
+// newRunObserver wires the run's sinks: a trace lane named after the
+// design, controller decision counters, and the run_start record.
+func newRunObserver(cfg *Config, design string, apps []*appState, ctrls map[core.AppID]*feedback.Controller, epochs, warmup int) *runObserver {
+	o := &runObserver{
+		cfg:        cfg,
+		lane:       cfg.Trace.Lane("system: " + design),
+		prevSizes:  make(map[core.AppID]float64),
+		prevPanics: make(map[core.AppID]uint64),
+	}
+	cfg.Trace.ThreadName(o.lane, 0, "epochs")
+	if reg := cfg.Metrics; reg != nil {
+		o.epochs = reg.Counter("system.epochs")
+		o.reconfigs = reg.Counter("system.reconfigs")
+		o.latNorm = reg.Histogram("system.lat_norm", 0, 2, 40)
+		o.allocs = make(map[core.AppID]*obs.Gauge)
+		for id, c := range ctrls {
+			p := fmt.Sprintf("feedback.app%d", id)
+			c.Instrument(reg.Counter(p+".grow"), reg.Counter(p+".shrink"), reg.Counter(p+".panic"))
+			o.allocs[id] = reg.Gauge(p + ".alloc_bytes")
+		}
+	}
+	if cfg.Events.Enabled() {
+		rs := obs.RunStart{
+			Design: design, Epochs: epochs, Warmup: warmup,
+			Banks: cfg.Machine.Banks(), BankBytes: cfg.Machine.BankBytes,
+		}
+		for _, a := range apps {
+			info := obs.AppInfo{
+				App: int(a.id), Name: a.name, VM: int(a.cfg.VM), Core: int(a.cfg.Core),
+				LatencyCritical: a.cfg.LatCrit != nil,
+			}
+			if a.queue != nil {
+				info.DeadlineCycles = a.queue.deadline
+			}
+			rs.Apps = append(rs.Apps, info)
+		}
+		cfg.Events.EmitRunStart(rs)
+	}
+	return o
+}
+
+// epochUs returns the epoch's simulated start time in microseconds.
+func (o *runObserver) epochUs(epoch int) float64 {
+	return float64(epoch) * o.cfg.EpochSeconds * 1e6
+}
+
+// observeEpoch records one epoch's outcome. reconfigured reports whether
+// the placer ran this epoch; prev is the placement it replaced (nil on the
+// first epoch or when it did not run). in still carries the latest
+// reconfiguration's controller targets.
+func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input, pl, prev *core.Placement,
+	sample EpochSample, apps []*appState, ctrls map[core.AppID]*feedback.Controller, fixedLat *float64) {
+	o.epochs.Inc()
+	if reconfigured {
+		o.reconfigs.Inc()
+	}
+	for _, v := range sample.LatNorm {
+		o.latNorm.Observe(v)
+	}
+	for id, g := range o.allocs {
+		g.Set(in.LatSizes[id])
+	}
+
+	var actions []obs.ControllerAction
+	var changes []obs.PlacementChange
+	maxMoved := 0.0
+	if reconfigured {
+		for _, id := range in.LatCritApps() {
+			size := in.LatSizes[id]
+			last, seen := o.prevSizes[id]
+			if !seen {
+				last = size
+			}
+			act := obs.ControllerAction{
+				App: int(id), Name: apps[id].name,
+				AllocBytes: size, DeltaBytes: size - last,
+				Action:  classifyAction(size-last, fixedLat != nil, ctrls[id], o.prevPanics[id]),
+				LatNorm: sample.LatNorm[int(id)],
+			}
+			act.DeadlineViolated = act.LatNorm > 1
+			actions = append(actions, act)
+			o.prevSizes[id] = size
+			if c := ctrls[id]; c != nil {
+				o.prevPanics[id] = c.Panics
+			}
+		}
+		for i := range in.Apps {
+			id := core.AppID(i)
+			banks, _ := pl.BanksOf(id)
+			moved := pl.MovedFraction(id, prev)
+			if moved > maxMoved {
+				maxMoved = moved
+			}
+			changes = append(changes, obs.PlacementChange{
+				App: i, Name: apps[i].name, Banks: len(banks),
+				TotalBytes: pl.TotalOf(id), MovedFraction: moved,
+			})
+		}
+	}
+
+	if o.cfg.Events.Enabled() {
+		o.cfg.Events.EmitEpoch(obs.Epoch{
+			Epoch: epoch, Reconfigured: reconfigured,
+			Actions: actions, Placement: changes,
+			Vulnerability: sample.Vulnerability,
+		})
+	}
+
+	if tr := o.cfg.Trace; tr.Enabled() {
+		ts := o.epochUs(epoch)
+		durUs := o.cfg.EpochSeconds * 1e6
+		tr.Span(o.lane, 0, "epoch", "epoch", ts, durUs, map[string]any{
+			"epoch": epoch, "vulnerability": sample.Vulnerability,
+		})
+		if reconfigured {
+			tr.Instant(o.lane, 0, "reconfigure", ts, map[string]any{"moved_fraction_max": maxMoved})
+		}
+		allocMB := make(map[string]float64, len(sample.AllocMB))
+		latNorm := make(map[string]float64, len(sample.LatNorm))
+		for _, id := range in.LatCritApps() {
+			key := fmt.Sprintf("%d:%s", id, apps[id].name)
+			allocMB[key] = sample.AllocMB[int(id)]
+			if v, ok := sample.LatNorm[int(id)]; ok {
+				latNorm[key] = v
+			}
+		}
+		tr.Counter(o.lane, "lc alloc (MB)", ts, allocMB)
+		tr.Counter(o.lane, "lat/deadline", ts, latNorm)
+	}
+}
+
+// classifyAction names a reconfiguration's per-app decision. A controller
+// panic since the last decision point dominates; otherwise the sign of the
+// net allocation delta decides.
+func classifyAction(delta float64, fixed bool, c *feedback.Controller, prevPanics uint64) string {
+	switch {
+	case fixed:
+		return "fixed"
+	case c != nil && c.Panics > prevPanics:
+		return "panic"
+	case delta > 0:
+		return "grow"
+	case delta < 0:
+		return "shrink"
+	default:
+		return "hold"
+	}
+}
+
+// observeEnd closes the run's records with its summary.
+func (o *runObserver) observeEnd(res *RunResult) {
+	if !o.cfg.Events.Enabled() {
+		return
+	}
+	o.cfg.Events.EmitRunEnd(obs.RunEnd{
+		Design:               res.Design,
+		WorstNormTail:        res.WorstNormTail,
+		BatchWeightedSpeedup: res.BatchWeightedSpeedup,
+		Vulnerability:        res.Vulnerability,
+		EnergyNJ:             res.Energy.Total(),
+	})
+}

@@ -103,6 +103,7 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 	cycles := cfg.EpochCycles()
 
 	res := &RunResult{Design: placer.Name(), Apps: make([]AppResult, len(apps))}
+	observer := newRunObserver(&cfg, placer.Name(), apps, ctrls, epochs, warmup)
 	latencies := make([][]float64, len(apps)) // post-warmup LC latencies
 	var (
 		sumIPC       = make([]float64, len(apps))
@@ -131,10 +132,12 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		// Movement cost is charged only on the epoch a reconfiguration
 		// actually happens (prevForModel nil otherwise).
 		var prevForModel *core.Placement
+		reconfigured := false
 		if pl == nil || epoch%cfg.ReconfigEpochs == 0 {
 			in = buildInput(cfg, apps, ctrls, qctrls, fixedLat)
 			prevPl, pl = pl, placer.Place(in)
 			prevForModel = prevPl
+			reconfigured = true
 		}
 		model := newEpochModel(cfg, in, pl, prevForModel, apps)
 		vuln := vulnerabilityByApp(in, pl)
@@ -213,6 +216,7 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			totalVulnAcc += epochVulnAcc
 		}
 		res.Timeline = append(res.Timeline, sample)
+		observer.observeEpoch(epoch, reconfigured, in, pl, prevForModel, sample, apps, ctrls, fixedLat)
 	}
 
 	// Summaries.
@@ -245,6 +249,7 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		res.Vulnerability = totalVulnAcc / totalVulnW
 	}
 	res.Energy = cfg.Energy.Energy(counts)
+	observer.observeEnd(res)
 	return res
 }
 

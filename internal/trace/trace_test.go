@@ -113,6 +113,27 @@ func TestOracle(t *testing.T) {
 	}
 }
 
+// TestOracleDeclinesStochasticGenerators pins the oracle's honesty: Mix and
+// Zipf have no closed-form LRU miss ratio, so it must return ok=false for
+// them at any capacity rather than a plausible-looking number.
+func TestOracleDeclinesStochasticGenerators(t *testing.T) {
+	zipf := NewZipf(0, 4096, 64, 1.4, 1)
+	for _, capBytes := range []uint64{1, 64 << 10, 1 << 30} {
+		if _, ok := MissRatioOracle(zipf, capBytes); ok {
+			t.Errorf("oracle claimed to cover Zipf at capacity %d", capBytes)
+		}
+	}
+	mix := NewMix(1, []Generator{
+		NewSequential(0, 1<<20, 64),
+		NewWorkingSet(1<<32, 1024, 64, 1),
+	}, []float64{1, 2})
+	for _, capBytes := range []uint64{1, 64 << 10, 1 << 30} {
+		if _, ok := MissRatioOracle(mix, capBytes); ok {
+			t.Errorf("oracle claimed to cover Mix at capacity %d", capBytes)
+		}
+	}
+}
+
 func assertPanics(t *testing.T, f func()) {
 	t.Helper()
 	defer func() {

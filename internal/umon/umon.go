@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"jumanji/internal/mrc"
+	"jumanji/internal/obs"
 )
 
 // Monitor profiles one virtual cache's accesses.
@@ -26,6 +27,22 @@ type Monitor struct {
 	// Accesses counts all accesses offered; Sampled counts those profiled.
 	Accesses uint64
 	Sampled  uint64
+
+	// Optional registry metrics (nil when uninstrumented). Unlike the
+	// fields above they are never halved by Age, so they report lifetime
+	// totals.
+	obsAccesses, obsSampled *obs.Counter
+}
+
+// Instrument registers lifetime access/sample counters under
+// prefix.{accesses,sampled}. A nil registry leaves the monitor
+// uninstrumented.
+func (m *Monitor) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	m.obsAccesses = reg.Counter(prefix + ".accesses")
+	m.obsSampled = reg.Counter(prefix + ".sampled")
 }
 
 // New returns a monitor covering buckets × bucketLines lines of capacity
@@ -59,11 +76,13 @@ func sampleHash(lineAddr uint64) uint64 {
 // Access offers one access at addr to the profiler.
 func (m *Monitor) Access(addr uint64) {
 	m.Accesses++
+	m.obsAccesses.Inc()
 	tag := addr / m.lineSize
 	if sampleHash(tag)%m.samplePeriod != 0 {
 		return
 	}
 	m.Sampled++
+	m.obsSampled.Inc()
 	// Find the tag's stack distance.
 	for i, t := range m.stack {
 		if t == tag {

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"jumanji/internal/core"
+	"jumanji/internal/obs"
 	"jumanji/internal/sim"
 	"jumanji/internal/system"
 	"jumanji/internal/tailbench"
@@ -143,6 +144,14 @@ type Options struct {
 	Epochs, Warmup int
 	// Seed drives workload randomness; equal seeds reproduce runs exactly.
 	Seed int64
+	// Metrics, Events, and Trace are optional observability sinks
+	// (internal/obs): a counter/gauge/histogram registry, the JSONL epoch
+	// decision log, and a Chrome trace-event exporter. All nil by default;
+	// runs sharing one Trace (e.g. Compare) render as stacked per-design
+	// lanes. See the "Observability" section of README.md.
+	Metrics *obs.Registry
+	Events  *obs.EventLog
+	Trace   *obs.Trace
 }
 
 // DefaultOptions returns the paper's configuration with a run length that
@@ -184,6 +193,7 @@ func (o Options) systemConfig() system.Config {
 	}
 	cfg.NoC.RouterDelay = sim.Time(o.RouterDelay)
 	cfg.Seed = o.Seed
+	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
 	return cfg
 }
 
