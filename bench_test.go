@@ -310,3 +310,25 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFiguresParallel is the experiment engine's scaling benchmark: the
+// same Fig. 13 regeneration (the full mix×design product) run serially and
+// fanned across every CPU. The rendered output is byte-identical either way
+// (TestParallelEquivalence); only wall clock changes. Compare ns/op of the
+// two sub-benchmarks — the engine's acceptance bar is >=2x on 4 cores:
+//
+//	go test -bench=FiguresParallel -count=3 .
+func BenchmarkFiguresParallel(b *testing.B) {
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			o := benchOptions()
+			o.Mixes = 4
+			o.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				harness.Fig13(o)
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
+}

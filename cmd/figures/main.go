@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure number to regenerate (4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18)")
-		table = flag.Int("table", 0, "table number to regenerate (1, 2, 3)")
-		all   = flag.Bool("all", false, "regenerate everything")
-		paper = flag.Bool("paper", false, "use the paper's protocol scale (40 mixes; slow)")
-		toCSV = flag.Bool("csv", false, "emit the figure's series as CSV (figures 4, 8, 12, 17, 18)")
+		fig      = flag.Int("fig", 0, "figure number to regenerate (4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18)")
+		table    = flag.Int("table", 0, "table number to regenerate (1, 2, 3)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		paper    = flag.Bool("paper", false, "use the paper's protocol scale (40 mixes; slow)")
+		toCSV    = flag.Bool("csv", false, "emit the figure's series as CSV (figures 4, 8, 12, 17, 18)")
+		parallel = flag.Int("parallel", 0, "worker count for fanning mixes/designs/sweep points across cores (0 = one per CPU, 1 = serial; output is identical either way)")
 	)
 	var sinks obs.CLI
 	sinks.RegisterFlags(flag.CommandLine)
@@ -39,6 +40,7 @@ func main() {
 	if *paper {
 		o = harness.PaperOptions()
 	}
+	o.Parallel = *parallel
 	o.Metrics, o.Events, o.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
 
 	switch {

@@ -34,6 +34,7 @@ func main() {
 		router     = flag.Int("router", 2, "NoC router delay in cycles (1-3)")
 		perApp     = flag.Bool("apps", false, "print per-application metrics")
 		asJSON     = flag.Bool("json", false, "emit results as JSON")
+		par        = flag.Int("parallel", 0, "worker count for fanning design runs across cores (0 = one per CPU, 1 = serial; output is identical either way)")
 	)
 	var sinks obs.CLI
 	sinks.RegisterFlags(flag.CommandLine)
@@ -46,6 +47,7 @@ func main() {
 	opts.Epochs, opts.Warmup, opts.Seed = *epochs, *warmup, *seed
 	opts.RouterDelay = *router
 	opts.HighLoad = *load != "low"
+	opts.Parallel = *par
 	opts.Metrics, opts.Events, opts.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
 
 	build := workloadBuilder(*lc, *vms, *seed)

@@ -101,9 +101,14 @@ func (p JumanjiPlacer) place(in *Input) (*Placement, error) {
 	for _, vm := range in.VMs() {
 		allowed := make(map[topo.TileID]bool)
 		vmCapacity := 0.0
-		for b, v := range owner {
-			if v == vm {
-				allowed[b] = true
+		// Scan banks in order, not map order: the capacity sum must
+		// accumulate deterministically (float addition is order-sensitive).
+		// The ok check matters — VMID(0) is a valid VM, so a missing key's
+		// zero value cannot be used as a sentinel.
+		for b := 0; b < in.Machine.Banks(); b++ {
+			id := topo.TileID(b)
+			if v, ok := owner[id]; ok && v == vm {
+				allowed[id] = true
 				vmCapacity += balance[b]
 			}
 		}

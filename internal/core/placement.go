@@ -62,23 +62,36 @@ func (p *Placement) Add(app AppID, b topo.TileID, bytes float64) {
 }
 
 // TotalOf returns app's total allocated bytes.
+//
+// The sum runs in bank order, not map order: float addition is not
+// associative, so summing in Go's randomized map iteration order would make
+// results differ between otherwise-identical runs at the ulp level — and
+// those ulps feed back into placement decisions. Absent banks contribute an
+// exact +0, which leaves the (non-negative) sum bitwise unchanged.
 func (p *Placement) TotalOf(app AppID) float64 {
+	m := p.Alloc[app]
 	var t float64
-	for _, b := range p.Alloc[app] {
-		t += b
+	for b := 0; b < p.Machine.Banks(); b++ {
+		t += m[topo.TileID(b)]
 	}
 	return t
 }
 
 // BankUsed returns the bytes of bank b committed to physical allocations
-// (overlay applications excluded).
+// (overlay applications excluded). Apps are summed in ID order so the float
+// accumulation is deterministic (see TotalOf).
 func (p *Placement) BankUsed(b topo.TileID) float64 {
+	apps := make([]AppID, 0, len(p.Alloc))
+	for app := range p.Alloc {
+		apps = append(apps, app)
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
 	var t float64
-	for app, banks := range p.Alloc {
+	for _, app := range apps {
 		if p.OverlayApps[app] {
 			continue
 		}
-		t += banks[b]
+		t += p.Alloc[app][b]
 	}
 	return t
 }
@@ -237,20 +250,18 @@ func (p *Placement) MovedFraction(app AppID, prev *Placement) float64 {
 		return 0
 	}
 	// Total variation: half the L1 distance between the share distributions.
+	// Walk all banks in order rather than ranging over the two maps: banks in
+	// neither allocation contribute |0-0| = 0, banks in one contribute its
+	// share, and the float accumulation order no longer depends on map
+	// iteration (see TotalOf).
 	tv := 0.0
-	seen := make(map[topo.TileID]bool, len(old)+len(cur))
-	for b, was := range old {
-		seen[b] = true
-		d := was/oldTotal - cur[b]/curTotal
+	for b := 0; b < p.Machine.Banks(); b++ {
+		id := topo.TileID(b)
+		d := old[id]/oldTotal - cur[id]/curTotal
 		if d < 0 {
 			d = -d
 		}
 		tv += d
-	}
-	for b, now := range cur {
-		if !seen[b] {
-			tv += now / curTotal
-		}
 	}
 	return tv / 2
 }

@@ -1,0 +1,65 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+
+	"jumanji/internal/core"
+	"jumanji/internal/obs"
+)
+
+// TestMergedCountersReconcile is the parallel engine's counter-integrity
+// check: when cells record into private registries that are merged
+// afterwards (the runCells/obs.Cell pattern), the merged counters must still
+// satisfy the CheckCounters invariant — Σ per-bank misses equals
+// cache.mem.loads equals the hierarchies' own MemLoads totals, now summed
+// across cells. Losing or double-counting increments in Registry.Merge
+// would break the equality.
+func TestMergedCountersReconcile(t *testing.T) {
+	run := func(seedApp string, lines uint64) (*obs.Registry, uint64) {
+		reg := obs.NewRegistry()
+		d, err := New(Config{
+			Machine: smallMachine(),
+			Placer:  core.JigsawPlacer{},
+			Apps: []App{
+				wsApp(seedApp, 0, 0, lines, 1),
+				wsApp(seedApp+"2", 1, 1, 2*lines, 2),
+			},
+			Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 3; e++ {
+			d.RunEpoch()
+		}
+		if err := d.CheckCounters(); err != nil {
+			t.Fatalf("per-cell counters inconsistent before merge: %v", err)
+		}
+		return reg, d.hier.TotalStats().MemLoads
+	}
+
+	regA, loadsA := run("a", 1024)
+	regB, loadsB := run("b", 4096)
+
+	merged := obs.NewRegistry()
+	merged.Merge(regA)
+	merged.Merge(regB)
+
+	var bankMisses uint64
+	for b := 0; b < smallMachine().Banks(); b++ {
+		bankMisses += merged.Counter(fmt.Sprintf("bank.%d.misses", b)).Value()
+	}
+	memLoads := merged.Counter("cache.mem.loads").Value()
+	if bankMisses != memLoads || memLoads != loadsA+loadsB {
+		t.Fatalf("merged counter mismatch: Σ bank misses %d, cache.mem.loads %d, hierarchy MemLoads %d+%d",
+			bankMisses, memLoads, loadsA, loadsB)
+	}
+	if memLoads == 0 {
+		t.Fatal("merged registry counted zero memory loads")
+	}
+	// The per-cell registries must be unchanged by the merge.
+	if got := regA.Counter("cache.mem.loads").Value(); got != loadsA {
+		t.Fatalf("merge mutated source registry: %d != %d", got, loadsA)
+	}
+}

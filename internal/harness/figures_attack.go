@@ -89,25 +89,29 @@ type Fig12Result struct {
 // placement is stable and lower.
 func Fig12(o Options) Fig12Result {
 	o.validate()
-	cfg := o.systemConfig()
-	var res Fig12Result
-	for mix := 0; mix < o.Mixes; mix++ {
-		rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))
+	b := caseStudyBuilder("img-dnn", true)
+	type pair struct{ snuca, dnuca float64 }
+	cells := runCells(o, o.Mixes, func(mix int, co Options) pair {
+		cfg := co.systemConfig()
 		// Keep the request-arrival seed fixed across mixes: the paper's
 		// Fig. 12 varies only the co-running batch applications, so any
 		// tail variation is caused by the co-runners (set-dueling leakage),
 		// not by different request sequences.
 		cfgMix := cfg
 		cfgMix.Seed = o.Seed
-		wl, err := system.CaseStudyWorkload(cfg.Machine, "img-dnn", rng, true)
+		rng := rand.New(rand.NewSource(cellSeed(o.Seed, b.label+"/mix", mix)))
+		wl, err := b.build(cfg.Machine, rng)
 		if err != nil {
 			panic(err)
 		}
-		worst := func(r *system.RunResult) float64 { return r.WorstNormTail }
 		s := system.RunFixedLat(cfgMix, wl, 2.5*(1<<20), false, o.Epochs, o.Warmup)
 		d := system.RunFixedLat(cfgMix, wl, 2.0*(1<<20), true, o.Epochs, o.Warmup)
-		res.SNUCA = append(res.SNUCA, worst(s))
-		res.DNUCA = append(res.DNUCA, worst(d))
+		return pair{snuca: s.WorstNormTail, dnuca: d.WorstNormTail}
+	})
+	var res Fig12Result
+	for _, c := range cells {
+		res.SNUCA = append(res.SNUCA, c.snuca)
+		res.DNUCA = append(res.DNUCA, c.dnuca)
 	}
 	sort.Float64s(res.SNUCA)
 	sort.Float64s(res.DNUCA)

@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"jumanji/internal/core"
 	"jumanji/internal/system"
@@ -20,28 +19,28 @@ type Fig4Result struct {
 
 // Fig4 reproduces the Sec. III case-study timelines: four VMs each running
 // xapian plus four random SPEC apps, observed over time under Adaptive,
-// VM-Part, Jigsaw, and Jumanji.
+// VM-Part, Jigsaw, and Jumanji. The four design runs are independent cells
+// of the worker pool; every cell rebuilds the (identical) mix-0 workload
+// from its deterministic seed.
 func Fig4(o Options) Fig4Result {
 	o.validate()
-	cfg := o.systemConfig()
-	cfg.Seed = o.Seed
-	rng := rand.New(rand.NewSource(o.Seed))
-	wl, err := system.CaseStudyWorkload(cfg.Machine, "xapian", rng, true)
-	if err != nil {
-		panic(err)
-	}
 	placers := []core.Placer{core.AdaptivePlacer{}, core.VMPartPlacer{}, core.JigsawPlacer{}, core.JumanjiPlacer{}}
-	res := Fig4Result{}
-	lcApps := make(map[int]bool)
-	for i, a := range wl.Apps {
-		if a.LatCrit != nil {
-			lcApps[i] = true
-		}
+	b := caseStudyBuilder("xapian", true)
+	type timeline struct {
+		lat, alloc, vuln []float64
 	}
-	for _, p := range placers {
-		r := system.Run(cfg, wl, p, o.Epochs, 0)
-		res.Designs = append(res.Designs, p.Name())
-		var lat, alloc, vuln []float64
+	cells := runCells(o, len(placers), func(d int, co Options) timeline {
+		cfg := co.systemConfig()
+		wl, seed := buildMix(b, cfg.Machine, o.Seed, 0)
+		cfg.Seed = seed
+		lcApps := make(map[int]bool)
+		for i, a := range wl.Apps {
+			if a.LatCrit != nil {
+				lcApps[i] = true
+			}
+		}
+		r := system.Run(cfg, wl, placers[d], o.Epochs, 0)
+		var tl timeline
 		for _, s := range r.Timeline {
 			l, a, nl, na := 0.0, 0.0, 0, 0
 			for i, v := range s.LatNorm {
@@ -62,13 +61,18 @@ func Fig4(o Options) Fig4Result {
 			if na > 0 {
 				a /= float64(na)
 			}
-			lat = append(lat, l)
-			alloc = append(alloc, a)
-			vuln = append(vuln, s.Vulnerability)
+			tl.lat = append(tl.lat, l)
+			tl.alloc = append(tl.alloc, a)
+			tl.vuln = append(tl.vuln, s.Vulnerability)
 		}
-		res.LatNorm = append(res.LatNorm, lat)
-		res.AllocMB = append(res.AllocMB, alloc)
-		res.Vuln = append(res.Vuln, vuln)
+		return tl
+	})
+	res := Fig4Result{}
+	for d, p := range placers {
+		res.Designs = append(res.Designs, p.Name())
+		res.LatNorm = append(res.LatNorm, cells[d].lat)
+		res.AllocMB = append(res.AllocMB, cells[d].alloc)
+		res.Vuln = append(res.Vuln, cells[d].vuln)
 	}
 	return res
 }

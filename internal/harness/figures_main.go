@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"jumanji/internal/core"
 	"jumanji/internal/energy"
@@ -94,23 +93,28 @@ type Fig15Row struct {
 }
 
 // Fig15 reproduces the energy comparison at high load: D-NUCAs cut NoC and
-// memory energy; the way-partitioned S-NUCAs pay extra misses.
+// memory energy; the way-partitioned S-NUCAs pay extra misses. One worker-
+// pool cell per mix; the per-mix breakdowns fold in mix order.
 func Fig15(o Options) []Fig15Row {
 	o.validate()
-	cfg := o.systemConfig()
 	placers := mainDesigns()
-	perKI := make([]energy.Breakdown, len(placers))
-	for mix := 0; mix < o.Mixes; mix++ {
-		rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))
+	b := caseStudyBuilder("xapian", true)
+	cells := runCells(o, o.Mixes, func(mix int, co Options) []energy.Breakdown {
+		cfg := co.systemConfig()
 		cfgMix := cfg
-		cfgMix.Seed = o.Seed + int64(mix)
-		wl, err := system.CaseStudyWorkload(cfg.Machine, "xapian", rng, true)
-		if err != nil {
-			panic(err)
-		}
+		wl, seed := buildMix(b, cfg.Machine, o.Seed, mix)
+		cfgMix.Seed = seed
+		perMix := make([]energy.Breakdown, len(placers))
 		for i, p := range placers {
 			r := system.Run(cfgMix, wl, p, o.Epochs, o.Warmup)
-			perKI[i].Add(r.Energy.Scale(1000 / r.TotalInstructions))
+			perMix[i].Add(r.Energy.Scale(1000 / r.TotalInstructions))
+		}
+		return perMix
+	})
+	perKI := make([]energy.Breakdown, len(placers))
+	for _, perMix := range cells {
+		for i := range placers {
+			perKI[i].Add(perMix[i])
 		}
 	}
 	var staticTotal float64

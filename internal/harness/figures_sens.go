@@ -94,8 +94,11 @@ func Fig17(o Options) []Fig17Row {
 	}
 	rows := make([]Fig17Row, 0, len(configs))
 	for _, c := range configs {
-		builder := func(m core.Machine, rng *rand.Rand) (system.Workload, error) {
-			return system.ScalingWorkload(m, c.vms, rng, true)
+		builder := mixBuilder{
+			label: fmt.Sprintf("scaling/%d/high", c.vms),
+			build: func(m core.Machine, rng *rand.Rand) (system.Workload, error) {
+				return system.ScalingWorkload(m, c.vms, rng, true)
+			},
 		}
 		sums := runMixes(o, builder, []core.Placer{core.StaticPlacer{}, core.JumanjiPlacer{}})
 		row := Fig17Row{VMs: c.vms, Label: c.label}
@@ -128,23 +131,24 @@ type Fig18Row struct {
 // with router delay, since locality matters more on a slower NoC.
 func Fig18(o Options) []Fig18Row {
 	o.validate()
-	rows := make([]Fig18Row, 0, 3)
-	for _, rd := range []int{1, 2, 3} {
-		var speedups []float64
-		for mix := 0; mix < o.Mixes; mix++ {
-			cfg := o.systemConfig()
-			cfg.NoC.RouterDelay = sim.Time(rd)
-			cfg.Seed = o.Seed + int64(mix)
-			rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))
-			wl, err := system.MixedLCWorkload(cfg.Machine, rng, true)
-			if err != nil {
-				panic(err)
-			}
-			static := system.Run(cfg, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
-			ju := system.Run(cfg, wl, core.JumanjiPlacer{}, o.Epochs, o.Warmup)
-			speedups = append(speedups, ju.BatchWeightedSpeedup/static.BatchWeightedSpeedup)
-		}
-		rows = append(rows, Fig18Row{RouterDelay: rd, Speedup: stats.Gmean(speedups)})
+	// Flatten router delays × mixes into one cell grid. The mix seeds come
+	// from the Fig. 13 "Mixed" label, so every delay point replays the same
+	// workloads and only the NoC varies.
+	rds := []int{1, 2, 3}
+	b := mixedBuilder(true)
+	cells := runCells(o, len(rds)*o.Mixes, func(i int, co Options) float64 {
+		rd, mix := rds[i/o.Mixes], i%o.Mixes
+		cfg := co.systemConfig()
+		cfg.NoC.RouterDelay = sim.Time(rd)
+		wl, seed := buildMix(b, cfg.Machine, o.Seed, mix)
+		cfg.Seed = seed
+		static := system.Run(cfg, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
+		ju := system.Run(cfg, wl, core.JumanjiPlacer{}, o.Epochs, o.Warmup)
+		return ju.BatchWeightedSpeedup / static.BatchWeightedSpeedup
+	})
+	rows := make([]Fig18Row, 0, len(rds))
+	for ri, rd := range rds {
+		rows = append(rows, Fig18Row{RouterDelay: rd, Speedup: stats.Gmean(cells[ri*o.Mixes : (ri+1)*o.Mixes])})
 	}
 	return rows
 }

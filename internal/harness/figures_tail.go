@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"jumanji/internal/core"
 	"jumanji/internal/feedback"
@@ -19,23 +18,24 @@ type Fig8Point struct {
 
 // Fig8 reproduces the tail-latency vs. allocation sweep: xapian alone at
 // high load with fixed allocations, placed S-NUCA (way-partitioned stripe)
-// vs D-NUCA (nearest banks).
+// vs D-NUCA (nearest banks). Each sweep point is one worker-pool cell; the
+// workload build is deterministic (nil rng) and arrivals keep the base seed
+// at every point, as in the serial protocol.
 func Fig8(o Options) []Fig8Point {
 	o.validate()
-	cfg := o.systemConfig()
-	cfg.Seed = o.Seed
-	wl, err := system.BuildVMWorkload(cfg.Machine, []system.VMSpec{{LatCrit: []string{"xapian"}}}, nil, true)
-	if err != nil {
-		panic(err)
-	}
 	allocs := []float64{0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75, 2, 2.5, 3, 4, 5, 6, 8, 10}
-	out := make([]Fig8Point, len(allocs))
-	for i, mb := range allocs {
+	return runCells(o, len(allocs), func(i int, co Options) Fig8Point {
+		cfg := co.systemConfig()
+		cfg.Seed = o.Seed
+		wl, err := system.BuildVMWorkload(cfg.Machine, []system.VMSpec{{LatCrit: []string{"xapian"}}}, nil, true)
+		if err != nil {
+			panic(err)
+		}
+		mb := allocs[i]
 		s := system.RunFixedLat(cfg, wl, mb*(1<<20), false, o.Epochs, o.Warmup)
 		d := system.RunFixedLat(cfg, wl, mb*(1<<20), true, o.Epochs, o.Warmup)
-		out[i] = Fig8Point{AllocMB: mb, NormTailSNUCA: s.Apps[0].NormTail, NormTailDNUCA: d.Apps[0].NormTail}
-	}
-	return out
+		return Fig8Point{AllocMB: mb, NormTailSNUCA: s.Apps[0].NormTail, NormTailDNUCA: d.Apps[0].NormTail}
+	})
 }
 
 // RenderFig8 prints the sweep.
@@ -74,24 +74,29 @@ func Fig9(o Options) []Fig9Row {
 		{"step 0.10 *", func(p *feedback.Params) {}},
 		{"step 0.20", func(p *feedback.Params) { p.Step = 0.20 }},
 	}
-	rows := make([]Fig9Row, 0, len(variants))
-	for _, v := range variants {
-		cfg := o.systemConfig()
-		cfg.Seed = o.Seed
+	// Flatten variants × mixes into one cell grid; the mix seeds come from
+	// the Fig. 5 case-study label, so every variant (and Fig. 5 itself) sees
+	// the same workloads.
+	b := caseStudyBuilder("xapian", true)
+	type cellOut struct{ speedup, tail float64 }
+	cells := runCells(o, len(variants)*o.Mixes, func(i int, co Options) cellOut {
+		v, mix := variants[i/o.Mixes], i%o.Mixes
+		cfg := co.systemConfig()
 		v.mutate(&cfg.Feedback)
+		cfgMix := cfg
+		wl, seed := buildMix(b, cfg.Machine, o.Seed, mix)
+		cfgMix.Seed = seed
+		static := system.Run(cfgMix, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
+		ju := system.Run(cfgMix, wl, core.JumanjiPlacer{}, o.Epochs, o.Warmup)
+		return cellOut{speedup: ju.BatchWeightedSpeedup / static.BatchWeightedSpeedup, tail: ju.WorstNormTail}
+	})
+	rows := make([]Fig9Row, 0, len(variants))
+	for vi, v := range variants {
 		var speedups, tails []float64
 		for mix := 0; mix < o.Mixes; mix++ {
-			rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))
-			cfgMix := cfg
-			cfgMix.Seed = o.Seed + int64(mix)
-			wl, err := system.CaseStudyWorkload(cfg.Machine, "xapian", rng, true)
-			if err != nil {
-				panic(err)
-			}
-			static := system.Run(cfgMix, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
-			ju := system.Run(cfgMix, wl, core.JumanjiPlacer{}, o.Epochs, o.Warmup)
-			speedups = append(speedups, ju.BatchWeightedSpeedup/static.BatchWeightedSpeedup)
-			tails = append(tails, ju.WorstNormTail)
+			c := cells[vi*o.Mixes+mix]
+			speedups = append(speedups, c.speedup)
+			tails = append(tails, c.tail)
 		}
 		rows = append(rows, Fig9Row{
 			Label:         v.label,

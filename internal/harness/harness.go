@@ -4,15 +4,25 @@
 // tables and bench_test.go wraps them as benchmarks. Scale (number of
 // random batch mixes, epochs per run) is configurable so the full paper
 // protocol and a quick smoke run share one code path.
+//
+// The protocol is embarrassingly parallel — random batch mixes × designs ×
+// sweep points — and every figure fans its independent cells across a
+// worker pool (internal/parallel). Each cell derives its own RNG seeds from
+// Options.Seed and the cell's identity (cellSeed) and records into private
+// observability sinks (obs.Cell), merged back in cell order, so results and
+// sink output are bit-identical to a serial run for any Parallel setting.
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
+	"jumanji/internal/parallel"
 	"jumanji/internal/stats"
 	"jumanji/internal/system"
 	"jumanji/internal/tailbench"
@@ -27,10 +37,17 @@ type Options struct {
 	Epochs, Warmup int
 	// Seed seeds mix generation and arrivals.
 	Seed int64
+	// Parallel is the worker count for fanning independent experiment
+	// cells (mixes, sweep points, design runs) across cores. 0 (the
+	// default) uses one worker per CPU; 1 recovers the serial path.
+	// Results are bit-identical across worker counts.
+	Parallel int
 	// Metrics, Events, and Trace are optional observability sinks
 	// (internal/obs), shared by every run the harness performs: all runs
 	// count into one registry, append to one decision log, and render as
 	// stacked lanes in one trace. Nil (the default) disables each.
+	// Parallel cells record into private sinks merged back in cell order,
+	// so the output does not depend on Parallel.
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Trace   *obs.Trace
@@ -62,6 +79,56 @@ func (o Options) systemConfig() system.Config {
 	return cfg
 }
 
+// cellSeed derives an independent RNG seed for one experiment cell from the
+// base seed, the cell's label (workload configuration plus what the seed
+// drives, e.g. "case/xapian/high/mix"), and the cell index. Hashing the
+// full identity replaces the old sequential base+K*constant scheme: a
+// cell's seed depends only on its own coordinates, never on how many cells
+// precede it or which figure runs it, so adding figures, reordering runs,
+// or changing mix counts leaves every other cell's workload untouched —
+// and the same workload configuration draws the same mixes in every figure
+// that uses it.
+func cellSeed(base int64, label string, cell int) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	io.WriteString(h, label)
+	binary.LittleEndian.PutUint64(b[:], uint64(cell))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// loadLabel names the load level inside cell labels.
+func loadLabel(high bool) string {
+	if high {
+		return "high"
+	}
+	return "low"
+}
+
+// runCells fans a figure's n independent cells across o.Parallel workers.
+// Each cell receives a copy of o whose observability sinks are private to
+// the cell (obs.Cell); after the pool drains, the private sinks merge into
+// o's sinks in cell-index order. Both the returned results (indexed by
+// cell) and the merged sinks are therefore identical for any worker count.
+func runCells[T any](o Options, n int, cell func(i int, co Options) T) []T {
+	cells := make([]*obs.Cell, n)
+	out := parallel.Map(o.Parallel, n, func(i int) T {
+		cells[i] = obs.NewCell(o.Metrics, o.Events, o.Trace)
+		co := o
+		co.Parallel = 1 // cells never nest fan-out
+		co.Metrics, co.Events, co.Trace = cells[i].Metrics, cells[i].Events, cells[i].Trace
+		return cell(i, co)
+	})
+	for _, c := range cells {
+		if err := c.MergeInto(o.Metrics, o.Events, o.Trace); err != nil {
+			panic(fmt.Sprintf("harness: merging cell sinks: %v", err))
+		}
+	}
+	return out
+}
+
 // designs returns the four designs of the main comparison plus Static.
 func mainDesigns() []core.Placer {
 	return []core.Placer{
@@ -84,21 +151,52 @@ type DesignSummary struct {
 	Vulnerability float64
 }
 
-// runMixes runs each design over `mixes` case-study workloads and returns
-// summaries. The buildWorkload callback makes one workload per mix.
-func runMixes(o Options, buildWorkload func(m core.Machine, rng *rand.Rand) (system.Workload, error), placers []core.Placer) []DesignSummary {
+// mixBuilder names a workload configuration and builds one mix of it. The
+// label keys the per-mix seed derivation, so every figure running the same
+// configuration sees the same mixes.
+type mixBuilder struct {
+	label string
+	build func(m core.Machine, rng *rand.Rand) (system.Workload, error)
+}
+
+// buildMix builds mix number `mix` of b's configuration and returns the
+// workload plus the arrival seed to run it under. Both seeds derive from the
+// mix's own coordinates (cellSeed), so every figure running the same
+// configuration sees the same mixes and arrivals.
+func buildMix(b mixBuilder, m core.Machine, base int64, mix int) (system.Workload, int64) {
+	rng := rand.New(rand.NewSource(cellSeed(base, b.label+"/mix", mix)))
+	wl, err := b.build(m, rng)
+	if err != nil {
+		panic(err)
+	}
+	return wl, cellSeed(base, b.label+"/arrivals", mix)
+}
+
+// mixOutcome is one mix cell's raw per-placer results, indexed like the
+// placers passed to runMixCells.
+type mixOutcome struct {
+	tails    []float64 // worst normalized tail per placer
+	speedups []float64 // batch weighted speedup vs Static per placer
+	vulns    []float64 // vulnerability per placer
+}
+
+// runMixCells runs each placer over `o.Mixes` workloads of the builder's
+// configuration, one worker-pool cell per mix, and returns the raw per-mix
+// outcomes in mix order. Each mix derives its workload and arrival seeds
+// from its own coordinates only (cellSeed), so outcome K is independent of
+// o.Mixes and of every other cell — the property the parallel engine and
+// TestMixPrefixIndependent rely on.
+func runMixCells(o Options, b mixBuilder, placers []core.Placer) []mixOutcome {
 	o.validate()
-	cfg := o.systemConfig()
-	tails := make([][]float64, len(placers))
-	speedups := make([][]float64, len(placers))
-	vulns := make([]float64, len(placers))
-	for mix := 0; mix < o.Mixes; mix++ {
-		rng := rand.New(rand.NewSource(o.Seed + int64(mix)*1001))
+	return runCells(o, o.Mixes, func(mix int, co Options) mixOutcome {
+		cfg := co.systemConfig()
 		cfgMix := cfg
-		cfgMix.Seed = o.Seed + int64(mix)
-		wl, err := buildWorkload(cfg.Machine, rng)
-		if err != nil {
-			panic(err)
+		wl, seed := buildMix(b, cfg.Machine, o.Seed, mix)
+		cfgMix.Seed = seed
+		out := mixOutcome{
+			tails:    make([]float64, len(placers)),
+			speedups: make([]float64, len(placers)),
+			vulns:    make([]float64, len(placers)),
 		}
 		var static *system.RunResult
 		results := make([]*system.RunResult, len(placers))
@@ -112,38 +210,57 @@ func runMixes(o Options, buildWorkload func(m core.Machine, rng *rand.Rand) (sys
 			static = system.Run(cfgMix, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
 		}
 		for i, r := range results {
-			if r.WorstNormTail > 0 {
-				tails[i] = append(tails[i], r.WorstNormTail)
-			}
-			speedups[i] = append(speedups[i], r.BatchWeightedSpeedup/static.BatchWeightedSpeedup)
-			vulns[i] += r.Vulnerability
+			out.tails[i] = r.WorstNormTail
+			out.speedups[i] = r.BatchWeightedSpeedup / static.BatchWeightedSpeedup
+			out.vulns[i] = r.Vulnerability
 		}
-	}
+		return out
+	})
+}
+
+// runMixes aggregates runMixCells into per-design summaries.
+func runMixes(o Options, b mixBuilder, placers []core.Placer) []DesignSummary {
+	outcomes := runMixCells(o, b, placers)
 	out := make([]DesignSummary, len(placers))
 	for i, p := range placers {
+		var tails, speedups []float64
+		vuln := 0.0
+		for _, m := range outcomes {
+			if m.tails[i] > 0 {
+				tails = append(tails, m.tails[i])
+			}
+			speedups = append(speedups, m.speedups[i])
+			vuln += m.vulns[i]
+		}
 		out[i] = DesignSummary{
 			Design:        p.Name(),
-			Speedup:       stats.Summarize(speedups[i]),
-			Vulnerability: vulns[i] / float64(o.Mixes),
+			Speedup:       stats.Summarize(speedups),
+			Vulnerability: vuln / float64(o.Mixes),
 		}
-		if len(tails[i]) > 0 {
-			out[i].NormTail = stats.Summarize(tails[i])
+		if len(tails) > 0 {
+			out[i].NormTail = stats.Summarize(tails)
 		}
 	}
 	return out
 }
 
 // caseStudyBuilder builds the 4×(1 LC + 4 B) workload for one LC app.
-func caseStudyBuilder(lcName string, highLoad bool) func(core.Machine, *rand.Rand) (system.Workload, error) {
-	return func(m core.Machine, rng *rand.Rand) (system.Workload, error) {
-		return system.CaseStudyWorkload(m, lcName, rng, highLoad)
+func caseStudyBuilder(lcName string, highLoad bool) mixBuilder {
+	return mixBuilder{
+		label: "case/" + lcName + "/" + loadLabel(highLoad),
+		build: func(m core.Machine, rng *rand.Rand) (system.Workload, error) {
+			return system.CaseStudyWorkload(m, lcName, rng, highLoad)
+		},
 	}
 }
 
 // mixedBuilder builds the Fig. 13 "Mixed" workload.
-func mixedBuilder(highLoad bool) func(core.Machine, *rand.Rand) (system.Workload, error) {
-	return func(m core.Machine, rng *rand.Rand) (system.Workload, error) {
-		return system.MixedLCWorkload(m, rng, highLoad)
+func mixedBuilder(highLoad bool) mixBuilder {
+	return mixBuilder{
+		label: "mixed/" + loadLabel(highLoad),
+		build: func(m core.Machine, rng *rand.Rand) (system.Workload, error) {
+			return system.MixedLCWorkload(m, rng, highLoad)
+		},
 	}
 }
 

@@ -11,9 +11,14 @@ package lookahead
 
 import (
 	"fmt"
+	"sync"
 
 	"jumanji/internal/mrc"
 )
+
+// scratchPool holds Allocate's convex-path per-request caches, reused across
+// the epoch loop's thousands of calls.
+var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // Request describes one contender for capacity.
 type Request struct {
@@ -89,23 +94,45 @@ func Allocate(total float64, reqs []Request) []float64 {
 		}
 	}
 	if allConvex {
+		// A request's marginal rate only changes when its own size grows, so
+		// cache per-request steps, caps, and rates in pooled scratch and
+		// re-evaluate just the winner each round: 2 curve Evals per grant
+		// instead of 2n. The scan order and the rate arithmetic (including
+		// the 1e-15 tie-break) are exactly the naive loop's, so the chosen
+		// allocations are bit-identical.
+		n := len(reqs)
+		sp := scratchPool.Get().(*[]float64)
+		if cap(*sp) < 3*n {
+			*sp = make([]float64, 3*n)
+		}
+		scratch := (*sp)[:3*n]
+		defer func() { scratchPool.Put(sp) }()
+		steps, maxs, rates := scratch[:n], scratch[n:2*n], scratch[2*n:3*n]
+		rate := func(i int) float64 {
+			gain := (reqs[i].Curve.Eval(sizes[i]) - reqs[i].Curve.Eval(sizes[i]+steps[i])) * weight(i)
+			return gain / steps[i]
+		}
+		for i := range reqs {
+			steps[i] = step(i)
+			maxs[i] = maxOf(i)
+			rates[i] = rate(i)
+		}
 		for {
 			best, bestRate := -1, 0.0
-			for i := range reqs {
-				s := step(i)
-				if s > remaining+1e-9 || sizes[i]+s > maxOf(i)+1e-9 {
+			for i := 0; i < n; i++ {
+				if steps[i] > remaining+1e-9 || sizes[i]+steps[i] > maxs[i]+1e-9 {
 					continue
 				}
-				gain := (reqs[i].Curve.Eval(sizes[i]) - reqs[i].Curve.Eval(sizes[i]+s)) * weight(i)
-				if rate := gain / s; rate > bestRate+1e-15 {
-					best, bestRate = i, rate
+				if rates[i] > bestRate+1e-15 {
+					best, bestRate = i, rates[i]
 				}
 			}
 			if best < 0 || bestRate <= 0 {
 				return sizes
 			}
-			sizes[best] += step(best)
-			remaining -= step(best)
+			sizes[best] += steps[best]
+			remaining -= steps[best]
+			rates[best] = rate(best)
 		}
 	}
 

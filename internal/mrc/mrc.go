@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Curve is a sampled miss curve. M[i] is the miss rate (conventionally misses
@@ -55,15 +56,22 @@ func (c Curve) MaxSize() float64 {
 
 // Eval returns the miss rate at the given capacity in bytes, linearly
 // interpolating between sample points and clamping outside the sampled range.
+//
+// Eval sits in the allocation algorithms' innermost loops (lookahead calls
+// it per request per greedy step), so the clamp check runs before the
+// int conversion and the conversion truncates directly: pos is known
+// positive here, where truncation equals math.Floor without the
+// float round-trip.
 func (c Curve) Eval(size float64) float64 {
 	if size <= 0 {
 		return c.M[0]
 	}
 	pos := size / c.Unit
-	lo := int(math.Floor(pos))
-	if lo >= len(c.M)-1 {
-		return c.M[len(c.M)-1]
+	last := len(c.M) - 1
+	if pos >= float64(last) {
+		return c.M[last]
 	}
+	lo := int(pos)
 	frac := pos - float64(lo)
 	return c.M[lo]*(1-frac) + c.M[lo+1]*frac
 }
@@ -128,8 +136,10 @@ func (c Curve) ConvexHull() Curve {
 		}
 		hull = append(hull, p)
 	}
-	// Re-sample the hull back onto the original grid.
-	out := mono.Clone()
+	// Re-sample the hull back onto the original grid, writing over mono's
+	// copy in place: the hull vertices hold their own y values, so mono.M is
+	// no longer read, and Monotone already gave us a private clone.
+	out := mono
 	seg := 0
 	for i := 0; i < n; i++ {
 		x := float64(i)
@@ -172,11 +182,11 @@ func Add(a, b Curve) Curve {
 	if a.Unit != b.Unit || len(a.M) != len(b.M) {
 		panic("mrc: Add on mismatched curves")
 	}
-	out := a.Clone()
-	for i := range out.M {
-		out.M[i] += b.M[i]
+	m := make([]float64, len(a.M))
+	for i := range m {
+		m[i] = a.M[i] + b.M[i]
 	}
-	return out
+	return Curve{Unit: a.Unit, M: m}
 }
 
 // Combine computes the combined miss curve of several applications sharing a
@@ -194,39 +204,45 @@ func Combine(curves ...Curve) Curve {
 	}
 	unit := curves[0].Unit
 	totalSteps := 0
-	base := 0.0
-	hulls := make([]Curve, len(curves))
-	for i, c := range curves {
+	for _, c := range curves {
 		if c.Unit != unit {
 			panic("mrc: Combine on mismatched units")
 		}
-		hulls[i] = c.ConvexHull()
 		totalSteps += len(c.M) - 1
-		base += hulls[i].M[0]
 	}
-	// Gather each hull's per-step miss reduction. Convexity makes each list
+	// Gather each hull's per-step miss reduction into pooled scratch —
+	// Combine runs once per VM per epoch, so the gains buffer is reused
+	// across calls rather than reallocated. Convexity makes each hull's list
 	// non-increasing, so a single global descending merge is optimal.
-	gains := make([]float64, 0, totalSteps)
-	for _, h := range hulls {
+	gp := gainsPool.Get().(*[]float64)
+	gains := (*gp)[:0]
+	base := 0.0
+	for _, c := range curves {
+		h := c.ConvexHull()
+		base += h.M[0]
 		for i := 1; i < len(h.M); i++ {
 			gains = append(gains, h.M[i-1]-h.M[i])
 		}
 	}
-	sortDescending(gains)
+	// Ascending sort (the specialized float64 path), consumed back-to-front:
+	// same descending order of values as sorting descending, without the
+	// interface indirection of sort.Reverse.
+	sort.Float64s(gains)
 	out := make([]float64, totalSteps+1)
 	out[0] = base
-	for i, g := range gains {
+	for i := range gains {
+		g := gains[len(gains)-1-i]
 		out[i+1] = out[i] - g
 		if out[i+1] < 0 {
 			out[i+1] = 0 // guard against float drift
 		}
 	}
+	*gp = gains
+	gainsPool.Put(gp)
 	return Curve{Unit: unit, M: out}
 }
 
-func sortDescending(xs []float64) {
-	sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
-}
+var gainsPool = sync.Pool{New: func() any { return new([]float64) }}
 
 func min(a, b int) int {
 	if a < b {

@@ -1,0 +1,57 @@
+package obs
+
+import "bytes"
+
+// Cell is one worker cell's private set of observability sinks. The
+// parallel experiment engine cannot hand concurrent runs the user's shared
+// sinks (every sink is single-goroutine by design), so each cell records
+// into a Cell mirroring which user sinks are enabled, and the cells merge
+// back in cell-index order once the pool drains. Because merging is
+// order-deterministic — counters add, event logs renumber their sequence,
+// trace lanes remap to the next free pids — the merged output is byte-for-
+// byte what a serial run would have produced.
+type Cell struct {
+	// Metrics, Events, and Trace are the cell-private sinks; each is nil
+	// when the corresponding user sink is nil, so disabled observability
+	// stays free under fan-out too.
+	Metrics *Registry
+	Events  *EventLog
+	Trace   *Trace
+
+	eventsBuf *bytes.Buffer
+}
+
+// NewCell returns private sinks mirroring the enabled ones among the user's
+// metrics/events/trace. The cell's EventLog writes into an in-memory buffer
+// replayed at merge time; its Trace accumulates events for lane-remapped
+// merging and is never Closed.
+func NewCell(metrics *Registry, events *EventLog, trace *Trace) *Cell {
+	c := &Cell{}
+	if metrics != nil {
+		c.Metrics = NewRegistry()
+	}
+	if events != nil {
+		c.eventsBuf = &bytes.Buffer{}
+		c.Events = NewEventLog(c.eventsBuf)
+	}
+	if trace != nil {
+		c.Trace = NewTrace(nil)
+	}
+	return c
+}
+
+// MergeInto folds the cell's sinks into the user's sinks. Callers merge
+// cells in index order exactly once; the first event-log error (from this
+// or an earlier append) is returned, matching EventLog's poison-on-error
+// convention.
+func (c *Cell) MergeInto(metrics *Registry, events *EventLog, trace *Trace) error {
+	if c == nil {
+		return nil
+	}
+	metrics.Merge(c.Metrics)
+	trace.Merge(c.Trace)
+	if c.eventsBuf != nil {
+		return events.AppendJSONL(c.eventsBuf.Bytes())
+	}
+	return nil
+}

@@ -181,6 +181,40 @@ func (l *EventLog) emit(typ string, data any) {
 	}
 }
 
+// AppendJSONL replays a JSONL log emitted by another EventLog into l,
+// renumbering each record's seq to continue l's sequence. The parallel
+// experiment engine points each worker cell's EventLog at a private buffer
+// and appends the buffers here in cell order, which reproduces the exact
+// bytes a serial run would have written (payloads are carried as raw JSON,
+// so nothing is re-marshalled). Appending to a nil log is a no-op; a
+// malformed or wrong-version line poisons the log like a write error.
+func (l *EventLog) AppendJSONL(data []byte) error {
+	if l == nil || l.err != nil {
+		return l.Err()
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			l.err = fmt.Errorf("obs: appending event log: %w", err)
+			return l.err
+		}
+		if env.V != SchemaVersion {
+			l.err = fmt.Errorf("obs: appending event log: schema version %d, want %d", env.V, SchemaVersion)
+			return l.err
+		}
+		l.seq++
+		env.Seq = l.seq
+		if err := l.enc.Encode(env); err != nil {
+			l.err = err
+			return l.err
+		}
+	}
+	return nil
+}
+
 // EmitRunStart writes a run_start record.
 func (l *EventLog) EmitRunStart(r RunStart) { l.emit(TypeRunStart, r) }
 

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRegistryMerge verifies the worker-pool fold: counters and histogram
+// bins add, gauges take the merged-in value, and metrics missing from the
+// destination are created.
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("epochs").Add(3)
+	dst.Gauge("alloc").Set(1)
+	dst.Histogram("lat", 0, 2, 4).Observe(0.5)
+
+	src := NewRegistry()
+	src.Counter("epochs").Add(7)
+	src.Counter("reconfigs").Add(2) // only in src
+	src.Gauge("alloc").Set(9)
+	h := src.Histogram("lat", 0, 2, 4)
+	h.Observe(1.5)
+	h.Observe(1.5)
+
+	dst.Merge(src)
+
+	if got := dst.Counter("epochs").Value(); got != 10 {
+		t.Errorf("merged counter = %d, want 10", got)
+	}
+	if got := dst.Counter("reconfigs").Value(); got != 2 {
+		t.Errorf("created counter = %d, want 2", got)
+	}
+	if got := dst.Gauge("alloc").Value(); got != 9 {
+		t.Errorf("merged gauge = %g, want src's 9 (last write wins)", got)
+	}
+	hd := dst.Histogram("lat", 0, 2, 4)
+	if hd.Count() != 3 || hd.Sum() != 3.5 {
+		t.Errorf("merged histogram count=%d sum=%g, want 3/3.5", hd.Count(), hd.Sum())
+	}
+	bins := hd.Bins()
+	if bins[1] != 1 || bins[3] != 2 {
+		t.Errorf("merged bins = %v", bins)
+	}
+}
+
+// TestRegistryMergeNeverSetGauge: a gauge src registered but never set must
+// not clobber dst's value, only ensure the name exists.
+func TestRegistryMergeNeverSetGauge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Gauge("alloc").Set(5)
+	src := NewRegistry()
+	src.Gauge("alloc") // registered, never set
+	src.Gauge("other") // only in src, never set
+	dst.Merge(src)
+	if got := dst.Gauge("alloc").Value(); got != 5 {
+		t.Errorf("unset src gauge clobbered dst: %g", got)
+	}
+	if len(dst.Snapshot()) != 2 {
+		t.Errorf("merge did not register src's gauge name")
+	}
+}
+
+func TestRegistryMergeNilSafety(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Merge(NewRegistry()) // must not panic
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Merge(nil)
+	if r.Counter("c").Value() != 1 {
+		t.Error("merging nil src changed dst")
+	}
+}
+
+func TestRegistryMergeShapeMismatchPanics(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("h", 0, 1, 4)
+	src := NewRegistry()
+	src.Histogram("h", 0, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched histogram shapes did not panic")
+		}
+	}()
+	dst.Merge(src)
+}
+
+// TestRegistryMergeOrderIndependentForCountersAndHistograms: fold order
+// must not change additive metrics, so completion order cannot leak into
+// merged results as long as callers merge in cell order.
+func TestRegistryMergeCommutesForAdditiveMetrics(t *testing.T) {
+	mk := func(c uint64, obs float64) *Registry {
+		r := NewRegistry()
+		r.Counter("n").Add(c)
+		r.Histogram("h", 0, 10, 5).Observe(obs)
+		return r
+	}
+	ab := NewRegistry()
+	ab.Merge(mk(1, 2))
+	ab.Merge(mk(10, 7))
+	ba := NewRegistry()
+	ba.Merge(mk(10, 7))
+	ba.Merge(mk(1, 2))
+	var a, b bytes.Buffer
+	if err := ab.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("additive merge not commutative:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestEventLogAppendJSONL verifies the per-worker buffer replay: appended
+// records keep their payload bytes but continue the destination's sequence,
+// and the result validates against the schema.
+func TestEventLogAppendJSONL(t *testing.T) {
+	var cell1, cell2, merged, serial bytes.Buffer
+
+	emitRun := func(l *EventLog, design string) {
+		l.EmitRunStart(RunStart{
+			Design: design, Epochs: 2, Warmup: 1, Banks: 20, BankBytes: 1 << 20,
+			Apps: []AppInfo{{App: 0, Name: "xapian", LatencyCritical: true}},
+		})
+		l.EmitEpoch(Epoch{Epoch: 0, Vulnerability: 1})
+		l.EmitRunEnd(RunEnd{Design: design})
+	}
+
+	emitRun(NewEventLog(&cell1), "Static")
+	emitRun(NewEventLog(&cell2), "Jumanji")
+
+	m := NewEventLog(&merged)
+	if err := m.AppendJSONL(cell1.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendJSONL(cell2.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewEventLog(&serial)
+	emitRun(s, "Static")
+	emitRun(s, "Jumanji")
+
+	if merged.String() != serial.String() {
+		t.Errorf("merged log differs from serial emission:\n%s\nvs\n%s", merged.String(), serial.String())
+	}
+	counts, err := ValidateEventLog(merged.Bytes())
+	if err != nil {
+		t.Fatalf("merged log fails validation: %v", err)
+	}
+	if counts[TypeRunStart] != 2 || counts[TypeEpoch] != 2 || counts[TypeRunEnd] != 2 {
+		t.Errorf("merged counts = %v", counts)
+	}
+}
+
+func TestEventLogAppendJSONLNilAndErrors(t *testing.T) {
+	var l *EventLog
+	if err := l.AppendJSONL([]byte(`{"v":1,"seq":1,"type":"run_end","data":{"design":"x"}}`)); err != nil {
+		t.Fatalf("nil log append errored: %v", err)
+	}
+	var buf bytes.Buffer
+	el := NewEventLog(&buf)
+	if err := el.AppendJSONL([]byte(`not json`)); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if el.Err() == nil {
+		t.Fatal("error did not poison the log")
+	}
+	el2 := NewEventLog(&buf)
+	if err := el2.AppendJSONL([]byte(`{"v":99,"seq":1,"type":"run_end","data":{"design":"x"}}`)); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+}
+
+// TestTraceMerge verifies lane remapping: merging per-cell traces in cell
+// order assigns the same pids a serial run sharing one trace would have.
+func TestTraceMerge(t *testing.T) {
+	var serialBuf, mergedBuf bytes.Buffer
+
+	record := func(tr *Trace, name string) {
+		pid := tr.Lane(name)
+		tr.ThreadName(pid, 0, "epochs")
+		tr.Span(pid, 0, "epoch", "epoch", 0, 100, map[string]any{"d": name})
+	}
+
+	serial := NewTrace(&serialBuf)
+	record(serial, "Static")
+	record(serial, "Jumanji")
+	if err := serial.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cell1, cell2 := NewTrace(nil), NewTrace(nil)
+	record(cell1, "Static")
+	record(cell2, "Jumanji")
+	merged := NewTrace(&mergedBuf)
+	merged.Merge(cell1)
+	merged.Merge(cell2)
+	if err := merged.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if serialBuf.String() != mergedBuf.String() {
+		t.Errorf("merged trace differs from serial:\n%s\nvs\n%s", serialBuf.String(), mergedBuf.String())
+	}
+	if _, err := ValidateTraceJSON(mergedBuf.Bytes()); err != nil {
+		t.Fatalf("merged trace fails validation: %v", err)
+	}
+}
+
+func TestTraceMergeNilAndClosed(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Merge(NewTrace(nil)) // must not panic
+
+	tr := NewTrace(&bytes.Buffer{})
+	tr.Merge(nil) // must not panic
+
+	src := NewTrace(nil)
+	src.Lane("x")
+	var buf bytes.Buffer
+	closed := NewTrace(&buf)
+	if err := closed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	closed.Merge(src)
+	if buf.Len() != n {
+		t.Error("merge into closed trace changed output")
+	}
+}

@@ -9,7 +9,11 @@
 // observability is disabled — BenchmarkObsOverhead guards the bound.
 //
 // Like the rest of the simulator, the registry is single-threaded: one run
-// owns its sinks. Runs on different goroutines must use separate sinks.
+// owns its sinks. Runs on different goroutines must use separate sinks; the
+// parallel experiment engine gives each worker cell a private Registry,
+// EventLog, and Trace, then folds them into the user-visible ones in cell
+// order (Registry.Merge, EventLog.AppendJSONL, Trace.Merge), so the merged
+// output is identical to a serial run's.
 package obs
 
 import (
@@ -248,6 +252,38 @@ func (r *Registry) register(name string, m any) {
 	}
 	r.byName[name] = m
 	r.order = append(r.order, name)
+}
+
+// Merge folds src's metrics into r: counters and histogram bins add;
+// gauges take src's value when src ever set one, so merging worker
+// registries in cell order gives "last write wins" the same meaning it has
+// in a serial run. Metrics missing from r are created (in src's
+// registration order, keeping name registration deterministic); histograms
+// present in both must agree on shape, enforced by the same panic as
+// re-registration. Merging a nil src, or into a nil r, is a no-op.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for _, name := range src.order {
+		switch m := src.byName[name].(type) {
+		case *Counter:
+			r.Counter(name).Add(m.n)
+		case *Gauge:
+			if m.set {
+				r.Gauge(name).Set(m.v)
+			} else {
+				r.Gauge(name) // register the name without clobbering a value
+			}
+		case *Histogram:
+			h := r.Histogram(name, m.lo, m.hi, len(m.bins))
+			for i, b := range m.bins {
+				h.bins[i] += b
+			}
+			h.count += m.count
+			h.sum += m.sum
+		}
+	}
 }
 
 // MetricSnapshot is one metric's state at snapshot time.

@@ -114,6 +114,26 @@ func (t *Trace) Counter(pid int, name string, tsUs float64, values map[string]fl
 	})
 }
 
+// Merge appends src's accumulated events onto t, remapping src's lanes to
+// fresh pids so each merged run keeps its own lane. The parallel experiment
+// engine gives every worker cell a private Trace and merges them here in
+// cell order, which assigns exactly the pids a serial run would have: lane
+// numbering depends only on merge order, never on which worker finished
+// first. Merging a nil src, into a nil t, or into a closed t is a no-op.
+// src's events are copied, not drained; events src records after the merge
+// do not appear in t.
+func (t *Trace) Merge(src *Trace) {
+	if t == nil || src == nil || t.closed {
+		return
+	}
+	offset := t.nextPid - 1
+	for _, e := range src.events {
+		e.Pid += offset
+		t.events = append(t.events, e)
+	}
+	t.nextPid += src.nextPid - 1
+}
+
 // Close writes the accumulated events as {"traceEvents": [...]} and marks
 // the trace done. Further emissions and Closes are dropped. Closing a nil
 // trace is a no-op.

@@ -1,0 +1,91 @@
+// Package parallel is the experiment engine's worker pool. The paper's
+// protocol is embarrassingly parallel — 40 random batch mixes × 7 designs ×
+// dozens of sweep points — and every cell of that product is an independent
+// job: it derives its own RNG seed from its coordinates and writes into its
+// own observability sinks, so results are collected by cell index and are
+// bit-identical to a serial run regardless of worker count or completion
+// order.
+//
+// The package deliberately exposes only index-addressed fan-out (Map), not
+// channels or futures: deterministic merging is the whole point, and a
+// result slice indexed by job keeps "merge in cell order" trivial for every
+// caller.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: n > 0 is used as given, anything
+// else (the default 0) means one worker per CPU.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Map runs job(0..n-1) across `workers` goroutines and returns the results
+// indexed by job, so output order is independent of scheduling. workers <= 1
+// (or n <= 1) runs every job inline on the calling goroutine — the exact
+// serial path, with no goroutines involved. Jobs are handed out by an atomic
+// counter, so long and short jobs share the pool without static chunking.
+//
+// A panic inside a job is captured and re-raised on the calling goroutine
+// after the pool drains, wrapped with the job index; the simulator's
+// convention is that invalid configuration panics, and that must hold under
+// fan-out too.
+func Map[T any](workers, n int, job func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = job(i)
+		}
+		return out
+	}
+
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								panicked = fmt.Errorf("parallel: job %d panicked: %v", i, r)
+							})
+						}
+					}()
+					out[i] = job(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}

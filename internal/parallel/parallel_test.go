@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapIndexedResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+}
+
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	var counts [500]atomic.Int32
+	Map(8, len(counts), func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapSerialStaysInline(t *testing.T) {
+	// workers=1 must run on the calling goroutine: job order is 0,1,2,...
+	// and no goroutines are spawned (the serial recovery path).
+	var order []int
+	Map(1, 10, func(i int) struct{} {
+		order = append(order, i)
+		return struct{}{}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(strings.ToLower(nonNilString(r)), "boom") {
+			t.Fatalf("panic lost its payload: %v", r)
+		}
+	}()
+	Map(4, 50, func(i int) int {
+		if i == 23 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func nonNilString(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", Workers(0), runtime.NumCPU())
+	}
+	if Workers(-3) != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d", Workers(-3))
+	}
+	if Workers(5) != 5 {
+		t.Errorf("Workers(5) = %d", Workers(5))
+	}
+}

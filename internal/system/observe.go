@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"sort"
 
 	"jumanji/internal/core"
 	"jumanji/internal/feedback"
@@ -44,9 +45,17 @@ func newRunObserver(cfg *Config, design string, apps []*appState, ctrls map[core
 		o.reconfigs = reg.Counter("system.reconfigs")
 		o.latNorm = reg.Histogram("system.lat_norm", 0, 2, 40)
 		o.allocs = make(map[core.AppID]*obs.Gauge)
-		for id, c := range ctrls {
+		// Register per-app metrics in app-ID order: the registry preserves
+		// registration order in its text output, so map-order iteration here
+		// would shuffle WriteText between runs.
+		ids := make([]core.AppID, 0, len(ctrls))
+		for id := range ctrls {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
 			p := fmt.Sprintf("feedback.app%d", id)
-			c.Instrument(reg.Counter(p+".grow"), reg.Counter(p+".shrink"), reg.Counter(p+".panic"))
+			ctrls[id].Instrument(reg.Counter(p+".grow"), reg.Counter(p+".shrink"), reg.Counter(p+".panic"))
 			o.allocs[id] = reg.Gauge(p + ".alloc_bytes")
 		}
 	}
@@ -85,8 +94,15 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 	if reconfigured {
 		o.reconfigs.Inc()
 	}
-	for _, v := range sample.LatNorm {
-		o.latNorm.Observe(v)
+	// Observe in app order: the histogram's running sum is a float
+	// accumulator, so map-order iteration would drift it by ulps run to run.
+	keys := make([]int, 0, len(sample.LatNorm))
+	for id := range sample.LatNorm {
+		keys = append(keys, id)
+	}
+	sort.Ints(keys)
+	for _, id := range keys {
+		o.latNorm.Observe(sample.LatNorm[id])
 	}
 	for id, g := range o.allocs {
 		g.Set(in.LatSizes[id])

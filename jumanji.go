@@ -27,6 +27,7 @@ import (
 
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
+	"jumanji/internal/parallel"
 	"jumanji/internal/sim"
 	"jumanji/internal/system"
 	"jumanji/internal/tailbench"
@@ -144,6 +145,12 @@ type Options struct {
 	Epochs, Warmup int
 	// Seed drives workload randomness; equal seeds reproduce runs exactly.
 	Seed int64
+	// Parallel is the worker count for fanning independent runs (Compare's
+	// designs, TailVsAllocation's sweep points) across cores. 0 (the
+	// default) uses one worker per CPU; 1 recovers the serial path. Results
+	// — including anything recorded into Metrics/Events/Trace — are
+	// bit-identical across worker counts.
+	Parallel int
 	// Metrics, Events, and Trace are optional observability sinks
 	// (internal/obs): a counter/gauge/histogram registry, the JSONL epoch
 	// decision log, and a Chrome trace-event exporter. All nil by default;
@@ -416,6 +423,10 @@ func runInner(opts Options, wl Workload, d Design) (*Result, error) {
 // Compare runs several designs over the same workload. If Static is among
 // the designs (or as the implicit baseline when absent), every result's
 // SpeedupVsStatic is filled in.
+//
+// The design runs are independent, so Compare fans them across
+// opts.Parallel workers; each run records into private observability sinks
+// merged back in design order, keeping output identical to a serial run.
 func Compare(opts Options, build func(Options) (Workload, error), designs ...Design) ([]*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -427,23 +438,39 @@ func Compare(opts Options, build func(Options) (Workload, error), designs ...Des
 	if err != nil {
 		return nil, err
 	}
-	var static *Result
-	results := make([]*Result, len(designs))
+	// One job per design, plus the implicit Static baseline when absent —
+	// appended last, exactly where the serial path ran it, so the merged
+	// sink output is unchanged.
+	jobs := append([]Design(nil), designs...)
+	staticAt := -1
 	for i, d := range designs {
-		results[i], err = runInner(opts, wl, d)
-		if err != nil {
-			return nil, err
-		}
 		if d == Static {
-			static = results[i]
+			staticAt = i
 		}
 	}
-	if static == nil {
-		static, err = runInner(opts, wl, Static)
+	if staticAt == -1 {
+		staticAt = len(jobs)
+		jobs = append(jobs, Static)
+	}
+	cells := make([]*obs.Cell, len(jobs))
+	all := parallel.Map(opts.Parallel, len(jobs), func(i int) *Result {
+		cells[i] = obs.NewCell(opts.Metrics, opts.Events, opts.Trace)
+		co := opts
+		co.Parallel = 1
+		co.Metrics, co.Events, co.Trace = cells[i].Metrics, cells[i].Events, cells[i].Trace
+		r, err := runInner(co, wl, jobs[i])
 		if err != nil {
+			panic(err) // runInner cannot fail on an already-validated config
+		}
+		return r
+	})
+	for _, c := range cells {
+		if err := c.MergeInto(opts.Metrics, opts.Events, opts.Trace); err != nil {
 			return nil, err
 		}
 	}
+	static := all[staticAt]
+	results := all[:len(designs):len(designs)]
 	for _, r := range results {
 		r.SpeedupVsStatic = r.BatchWeightedSpeedup / static.BatchWeightedSpeedup
 	}

@@ -3,6 +3,8 @@ package jumanji
 import (
 	"fmt"
 
+	"jumanji/internal/obs"
+	"jumanji/internal/parallel"
 	"jumanji/internal/system"
 )
 
@@ -20,6 +22,9 @@ type TailPoint struct {
 // normalized tail for both placements. Values above 1 violate the
 // deadline; the D-NUCA column should cross below 1 at a smaller allocation
 // than the S-NUCA column.
+//
+// The sweep points are independent, so they fan across opts.Parallel
+// workers; per-point observability sinks merge back in sweep order.
 func TailVsAllocation(opts Options, latCrit string, allocsMB []float64) ([]TailPoint, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -27,24 +32,34 @@ func TailVsAllocation(opts Options, latCrit string, allocsMB []float64) ([]TailP
 	if len(allocsMB) == 0 {
 		return nil, fmt.Errorf("jumanji: no allocations to sweep")
 	}
-	cfg := opts.systemConfig()
-	wl, err := system.BuildVMWorkload(cfg.Machine,
+	for _, mb := range allocsMB {
+		if mb <= 0 {
+			return nil, fmt.Errorf("jumanji: non-positive allocation %g MB", mb)
+		}
+	}
+	wl, err := system.BuildVMWorkload(opts.systemConfig().Machine,
 		[]system.VMSpec{{LatCrit: []string{latCrit}}}, nil, true)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]TailPoint, len(allocsMB))
-	for i, mb := range allocsMB {
-		if mb <= 0 {
-			return nil, fmt.Errorf("jumanji: non-positive allocation %g MB", mb)
-		}
-		bytes := mb * (1 << 20)
+	cells := make([]*obs.Cell, len(allocsMB))
+	out := parallel.Map(opts.Parallel, len(allocsMB), func(i int) TailPoint {
+		cells[i] = obs.NewCell(opts.Metrics, opts.Events, opts.Trace)
+		co := opts
+		co.Metrics, co.Events, co.Trace = cells[i].Metrics, cells[i].Events, cells[i].Trace
+		cfg := co.systemConfig()
+		bytes := allocsMB[i] * (1 << 20)
 		s := system.RunFixedLat(cfg, wl, bytes, false, opts.Epochs, opts.Warmup)
 		d := system.RunFixedLat(cfg, wl, bytes, true, opts.Epochs, opts.Warmup)
-		out[i] = TailPoint{
-			AllocMB:       mb,
+		return TailPoint{
+			AllocMB:       allocsMB[i],
 			NormTailSNUCA: s.Apps[0].NormTail,
 			NormTailDNUCA: d.Apps[0].NormTail,
+		}
+	})
+	for _, c := range cells {
+		if err := c.MergeInto(opts.Metrics, opts.Events, opts.Trace); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
