@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"jumanji/internal/topo"
+)
+
+// Allocation-regression guards for the dense Placement accessors the epoch
+// loop reads every epoch. All of them must be zero-allocation: the dense
+// layout exists precisely so the hot path never touches the heap. Run via
+// `go test -run AllocGuard -count=1`.
+
+var (
+	allocSinkF float64
+	allocSinkI int
+	allocSinkS []float64
+)
+
+// allocGuardPlacement builds a populated placement pair (cur, prev) over a
+// small workload, matching what runner.go holds across reconfigurations.
+func allocGuardPlacement() (*Input, *Placement, *Placement) {
+	rng := rand.New(rand.NewSource(11))
+	in := testWorkload(4, 4, rng)
+	cur, prev := NewPlacement(in.Machine), NewPlacement(in.Machine)
+	for _, pl := range []*Placement{cur, prev} {
+		for i := range in.Apps {
+			for j := 0; j < 4; j++ {
+				b := topo.TileID(rng.Intn(in.Machine.Banks()))
+				pl.Add(AppID(i), b, rng.Float64()*in.Machine.WayBytes())
+			}
+		}
+	}
+	return in, cur, prev
+}
+
+func TestAllocGuardPlacementAccessors(t *testing.T) {
+	in, pl, prev := allocGuardPlacement()
+	app := AppID(1)
+	core := in.Apps[app].Core
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"TotalOf", func() { allocSinkF = pl.TotalOf(app) }},
+		{"BankUsed", func() { allocSinkF = pl.BankUsed(3) }},
+		{"AvgHops", func() { allocSinkF = pl.AvgHops(app, core) }},
+		{"MeanWays", func() { allocSinkF = pl.MeanWays(app) }},
+		{"MovedFraction", func() { allocSinkF = pl.MovedFraction(app, prev) }},
+		{"BankCount", func() { allocSinkI = pl.BankCount(app) }},
+		{"AllocRow", func() { allocSinkS = pl.AllocRow(app) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {
+			t.Errorf("%s allocated %v times per call, want 0", c.name, allocs)
+		}
+	}
+}
+
+func TestAllocGuardAppendAccessors(t *testing.T) {
+	in, pl, _ := allocGuardPlacement()
+	// Warm the scratch slices to full capacity once; steady-state reuse with
+	// dst[:0] must then be allocation-free.
+	apps := pl.AppendAppsInBank(nil, 0)
+	vms := pl.AppendVMsSharingBank(nil, in, 0)
+	for b := 0; b < in.Machine.Banks(); b++ {
+		apps = pl.AppendAppsInBank(apps[:0], topo.TileID(b))
+		vms = pl.AppendVMsSharingBank(vms[:0], in, topo.TileID(b))
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for b := 0; b < in.Machine.Banks(); b++ {
+			apps = pl.AppendAppsInBank(apps[:0], topo.TileID(b))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendAppsInBank with reused scratch allocated %v times per sweep, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		for b := 0; b < in.Machine.Banks(); b++ {
+			vms = pl.AppendVMsSharingBank(vms[:0], in, topo.TileID(b))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendVMsSharingBank with reused scratch allocated %v times per sweep, want 0", allocs)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"jumanji/internal/topo"
+)
+
+// benchPlacement builds the canonical 4-VM case-study input and a Jumanji
+// placement over it — the shape every epoch of the big sweeps evaluates.
+func benchPlacement(b *testing.B) (*Input, *Placement, *Placement) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	in := testWorkload(4, 4, rng)
+	prev := JumanjiPlacer{}.Place(in)
+	// Perturb the controller targets so prev and cur differ (MovedFraction
+	// has real work to do).
+	for id := range in.LatSizes {
+		in.LatSizes[id] *= 1.5
+	}
+	cur := JumanjiPlacer{}.Place(in)
+	return in, cur, prev
+}
+
+// BenchmarkPlacementOps measures one epoch's worth of Placement accessor
+// traffic: per app the epoch model reads TotalOf, MeanWays, AvgHops and
+// MovedFraction; per bank the validator reads BankUsed; and the security
+// metric walks AppsInBank/VMsSharingBank. allocs/op is the headline number —
+// the dense-layout refactor's acceptance bar is a large reduction here.
+func BenchmarkPlacementOps(b *testing.B) {
+	in, cur, prev := benchPlacement(b)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for a := range in.Apps {
+			app := AppID(a)
+			sink += cur.TotalOf(app)
+			sink += cur.MeanWays(app)
+			sink += cur.AvgHops(app, in.Apps[a].Core)
+			sink += cur.MovedFraction(app, prev)
+		}
+		for bk := 0; bk < in.Machine.Banks(); bk++ {
+			id := topo.TileID(bk)
+			sink += cur.BankUsed(id)
+			sink += float64(len(cur.VMsSharingBank(in, id)))
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkPlacerPlace measures a full JumanjiPlacer reconfiguration —
+// the per-epoch cost the scratch-reuse protocol amortizes.
+func BenchmarkPlacerPlace(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	in := testWorkload(4, 4, rng)
+	p := JumanjiPlacer{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Place(in)
+	}
+}

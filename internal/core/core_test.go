@@ -235,12 +235,12 @@ func TestIdealBatchOverlay(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, app := range in.BatchApps() {
-		if !pl.OverlayApps[app] {
+		if !pl.Overlay(app) {
 			t.Errorf("batch app %d not in overlay", app)
 		}
 	}
 	for _, app := range in.LatCritApps() {
-		if pl.OverlayApps[app] {
+		if pl.Overlay(app) {
 			t.Errorf("LC app %d must stay in the physical LLC", app)
 		}
 	}
@@ -447,7 +447,7 @@ func TestJumanjiOversubscription(t *testing.T) {
 	}
 	shared := 0
 	for i := range in.Apps {
-		if s := pl.TimeShared[AppID(i)]; s > 0 {
+		if s := pl.TimeShared(AppID(i)); s > 0 {
 			shared++
 			if s != 0.5 {
 				t.Errorf("app %d time share = %v, want 0.5 (two VMs per group)", i, s)
@@ -470,7 +470,7 @@ func TestOversubscriptionNotUsedWhenVMsFit(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	in := testWorkload(4, 4, rng)
 	pl := JumanjiPlacer{AllowOversubscription: true}.Place(in)
-	if len(pl.TimeShared) != 0 {
+	if pl.TimeSharedCount() != 0 {
 		t.Error("time-sharing engaged although VMs fit in banks")
 	}
 	if !pl.IsVMIsolated(in) {
@@ -566,17 +566,17 @@ func TestRawCurveJigsaw(t *testing.T) {
 func TestTradeAdjust(t *testing.T) {
 	m := DefaultMachine()
 	pl := NewPlacement(m)
-	adjust(pl, 0, 3, 100)
-	adjust(pl, 0, 3, 50)
+	pl.adjust(0, 3, 100)
+	pl.adjust(0, 3, 50)
 	if pl.TotalOf(0) != 150 {
 		t.Errorf("TotalOf = %v", pl.TotalOf(0))
 	}
-	adjust(pl, 0, 3, -150)
+	pl.adjust(0, 3, -150)
 	if banks, _ := pl.BanksOf(0); len(banks) != 0 {
 		t.Errorf("zeroed share not removed: %v", banks)
 	}
-	// Adjusting an app with no allocation map yet works too.
-	adjust(pl, 7, 1, 42)
+	// Adjusting an app with no allocation row yet works too.
+	pl.adjust(7, 1, 42)
 	if pl.TotalOf(7) != 42 {
 		t.Errorf("fresh app TotalOf = %v", pl.TotalOf(7))
 	}

@@ -21,12 +21,17 @@ func (StaticPlacer) Name() string { return "Static" }
 
 // Place implements Placer.
 func (s StaticPlacer) Place(in *Input) *Placement {
+	return s.PlaceInto(in, NewPlacement(in.Machine))
+}
+
+// PlaceInto implements ScratchPlacer.
+func (s StaticPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
 	ways := s.LatCritWays
 	if ways == 0 {
 		ways = 4
 	}
-	pl := NewPlacement(in.Machine)
+	pl.Reset(in.Machine)
 	lat := in.LatCritApps()
 	usedWays := 0
 	for _, app := range lat {
@@ -51,9 +56,14 @@ type AdaptivePlacer struct{}
 func (AdaptivePlacer) Name() string { return "Adaptive" }
 
 // Place implements Placer.
-func (AdaptivePlacer) Place(in *Input) *Placement {
+func (p AdaptivePlacer) Place(in *Input) *Placement {
+	return p.PlaceInto(in, NewPlacement(in.Machine))
+}
+
+// PlaceInto implements ScratchPlacer.
+func (AdaptivePlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
-	pl := NewPlacement(in.Machine)
+	pl.Reset(in.Machine)
 	poolWays := placeAdaptiveLatCrit(in, pl)
 	placeSharedBatchPool(in, pl, in.BatchApps(), poolWays)
 	return pl
@@ -68,9 +78,14 @@ type VMPartPlacer struct{}
 func (VMPartPlacer) Name() string { return "VM-Part" }
 
 // Place implements Placer.
-func (VMPartPlacer) Place(in *Input) *Placement {
+func (p VMPartPlacer) Place(in *Input) *Placement {
+	return p.PlaceInto(in, NewPlacement(in.Machine))
+}
+
+// PlaceInto implements ScratchPlacer.
+func (VMPartPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
-	pl := NewPlacement(in.Machine)
+	pl.Reset(in.Machine)
 	poolWays := placeAdaptiveLatCrit(in, pl)
 
 	// Divide the batch ways among VMs by lookahead over each VM's combined
@@ -97,8 +112,8 @@ func (VMPartPlacer) Place(in *Input) *Placement {
 		split := sharedPoolSplit(in, batch, sizes[i])
 		for _, app := range batch {
 			stripe(in, pl, app, split[app])
-			pl.Unpartitioned[app] = true
-			pl.GroupWays[app] = vmWaysPerBank
+			pl.SetUnpartitioned(app)
+			pl.SetGroupWays(app, vmWaysPerBank)
 		}
 	}
 	return pl
@@ -144,8 +159,8 @@ func placeSharedBatchPool(in *Input, pl *Placement, batch []AppID, poolWays floa
 	split := sharedPoolSplit(in, batch, poolBytes)
 	for _, app := range batch {
 		stripe(in, pl, app, split[app])
-		pl.Unpartitioned[app] = true
-		pl.GroupWays[app] = poolWays
+		pl.SetUnpartitioned(app)
+		pl.SetGroupWays(app, poolWays)
 	}
 }
 

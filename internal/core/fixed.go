@@ -24,8 +24,13 @@ func (p FixedPlacer) Name() string {
 
 // Place implements Placer.
 func (p FixedPlacer) Place(in *Input) *Placement {
+	return p.PlaceInto(in, NewPlacement(in.Machine))
+}
+
+// PlaceInto implements ScratchPlacer.
+func (p FixedPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
-	pl := NewPlacement(in.Machine)
+	pl.Reset(in.Machine)
 	balance := newBalance(in.Machine)
 	usedBytes := 0.0
 	if p.Nearest {
@@ -75,8 +80,8 @@ func (p FixedPlacer) Place(in *Input) *Placement {
 		for b, free := range balance {
 			pl.Add(app, topo.TileID(b), split[app]*free/remaining)
 		}
-		pl.Unpartitioned[app] = true
-		pl.GroupWays[app] = meanPoolWays
+		pl.SetUnpartitioned(app)
+		pl.SetGroupWays(app, meanPoolWays)
 	}
 	return pl
 }

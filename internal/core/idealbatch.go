@@ -21,9 +21,14 @@ type IdealBatchPlacer struct{}
 func (IdealBatchPlacer) Name() string { return "Jumanji: Ideal Batch" }
 
 // Place implements Placer.
-func (IdealBatchPlacer) Place(in *Input) *Placement {
+func (p IdealBatchPlacer) Place(in *Input) *Placement {
+	return p.PlaceInto(in, NewPlacement(in.Machine))
+}
+
+// PlaceInto implements ScratchPlacer.
+func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
-	pl := NewPlacement(in.Machine)
+	pl.Reset(in.Machine)
 	balance := newBalance(in.Machine)
 
 	latRes := latCritPlace(in, pl, balance, true)
@@ -108,7 +113,7 @@ func (IdealBatchPlacer) Place(in *Input) *Placement {
 		_, batch := in.AppsOf(vm)
 		jig.placeBatchWithin(in, pl, overlay, batch, sizes[i], allowed)
 		for _, app := range batch {
-			pl.OverlayApps[app] = true
+			pl.SetOverlay(app)
 		}
 	}
 	return pl

@@ -18,8 +18,13 @@ type JigsawPlacer struct{}
 func (JigsawPlacer) Name() string { return "Jigsaw" }
 
 // Place implements Placer.
-func (JigsawPlacer) Place(in *Input) *Placement {
-	return jigsawPlace(in, true)
+func (p JigsawPlacer) Place(in *Input) *Placement {
+	return p.PlaceInto(in, NewPlacement(in.Machine))
+}
+
+// PlaceInto implements ScratchPlacer.
+func (JigsawPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
+	return jigsawPlace(in, true, pl)
 }
 
 // RawCurveJigsawPlacer is an ablation variant of Jigsaw that feeds raw
@@ -32,13 +37,18 @@ type RawCurveJigsawPlacer struct{}
 func (RawCurveJigsawPlacer) Name() string { return "Jigsaw (raw curves)" }
 
 // Place implements Placer.
-func (RawCurveJigsawPlacer) Place(in *Input) *Placement {
-	return jigsawPlace(in, false)
+func (p RawCurveJigsawPlacer) Place(in *Input) *Placement {
+	return p.PlaceInto(in, NewPlacement(in.Machine))
 }
 
-func jigsawPlace(in *Input, hull bool) *Placement {
+// PlaceInto implements ScratchPlacer.
+func (RawCurveJigsawPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
+	return jigsawPlace(in, false, pl)
+}
+
+func jigsawPlace(in *Input, hull bool, pl *Placement) *Placement {
 	mustValidate(in)
-	pl := NewPlacement(in.Machine)
+	pl.Reset(in.Machine)
 	balance := newBalance(in.Machine)
 
 	// Divide capacity by pure data-movement utility: every app (batch and

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"jumanji/internal/lookahead"
 	"jumanji/internal/mrc"
@@ -48,6 +47,11 @@ func (p JumanjiPlacer) Name() string {
 
 // Place implements Placer.
 func (p JumanjiPlacer) Place(in *Input) *Placement {
+	return p.PlaceInto(in, NewPlacement(in.Machine))
+}
+
+// PlaceInto implements ScratchPlacer.
+func (p JumanjiPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
 	// Safety valve: if the controllers' demands make bank-granular VM
 	// isolation infeasible (more reserved banks than exist), scale the
@@ -55,7 +59,7 @@ func (p JumanjiPlacer) Place(in *Input) *Placement {
 	// controllers' default bounds; it guards pathological inputs.
 	scaled := *in
 	for attempt := 0; attempt < 16; attempt++ {
-		pl, err := p.place(&scaled)
+		err := p.place(&scaled, pl)
 		if err == nil {
 			return pl
 		}
@@ -73,28 +77,28 @@ func shrinkLatSizes(in Input, factor float64) Input {
 	return in
 }
 
-func (p JumanjiPlacer) place(in *Input) (*Placement, error) {
+func (p JumanjiPlacer) place(in *Input, pl *Placement) error {
 	if vms := in.VMs(); !p.Insecure && p.AllowOversubscription && len(vms) > in.Machine.Banks() {
-		return p.placeOversubscribed(in, vms)
+		return p.placeOversubscribed(in, vms, pl)
 	}
-	pl := NewPlacement(in.Machine)
+	pl.Reset(in.Machine)
 	balance := newBalance(in.Machine)
 
 	// ① Reserve latency-critical allocations nearest-first.
 	latRes := latCritPlace(in, pl, balance, !p.Insecure)
 	if latRes.unplaced > 0 {
-		return nil, fmt.Errorf("core: %g bytes of latency-critical data did not fit", latRes.unplaced)
+		return fmt.Errorf("core: %g bytes of latency-critical data did not fit", latRes.unplaced)
 	}
 
 	if p.Insecure {
 		p.placeBatchInsecure(in, pl, balance)
-		return pl, nil
+		return nil
 	}
 
 	// ② Bank-granular VM allocation (JumanjiLookahead) + bank assignment.
 	owner, err := p.assignBanks(in, pl, latRes)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// ③ Jigsaw placement within each VM's banks.
@@ -118,7 +122,7 @@ func (p JumanjiPlacer) place(in *Input) (*Placement, error) {
 		}
 		p.placeBatchWithin(in, pl, balance, batch, vmCapacity, allowed)
 	}
-	return pl, nil
+	return nil
 }
 
 // placeOversubscribed handles more VMs than banks (Sec. IV-B): VMs are
@@ -128,7 +132,7 @@ func (p JumanjiPlacer) place(in *Input) (*Placement, error) {
 // context switch, so it is warm only its share of the time). Isolation
 // between concurrently-resident VMs is preserved by construction, and
 // isolation across time by the flush.
-func (p JumanjiPlacer) placeOversubscribed(in *Input, vms []VMID) (*Placement, error) {
+func (p JumanjiPlacer) placeOversubscribed(in *Input, vms []VMID, pl *Placement) error {
 	banks := in.Machine.Banks()
 	group := make(map[VMID]VMID, len(vms))
 	groupSize := make(map[VMID]int)
@@ -143,16 +147,15 @@ func (p JumanjiPlacer) placeOversubscribed(in *Input, vms []VMID) (*Placement, e
 	for i := range folded.Apps {
 		folded.Apps[i].VM = group[in.Apps[i].VM]
 	}
-	pl, err := p.place(&folded)
-	if err != nil {
-		return nil, err
+	if err := p.place(&folded, pl); err != nil {
+		return err
 	}
 	for i, a := range in.Apps {
 		if k := groupSize[group[a.VM]]; k > 1 {
-			pl.TimeShared[AppID(i)] = 1 / float64(k)
+			pl.SetTimeShared(AppID(i), 1/float64(k))
 		}
 	}
-	return pl, nil
+	return nil
 }
 
 // assignBanks computes each VM's whole-bank entitlement and hands out banks
@@ -191,7 +194,14 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 		reqs = append(reqs, r)
 		minTotal += r.Min
 	}
-	batchBalance := m.TotalBytes() - sumOf(latOf)
+	// vms is ascending, so the reserved-bytes sum is deterministic without
+	// the sorted-map-keys workaround the map layout needed; VMs with no
+	// latency-critical data contribute an exact +0.
+	latTotal := 0.0
+	for _, vm := range vms {
+		latTotal += latOf[vm]
+	}
+	batchBalance := m.TotalBytes() - latTotal
 	if minTotal > batchBalance+1e-6 {
 		return nil, fmt.Errorf("core: bank-granular minima (%g) exceed batch capacity (%g)", minTotal, batchBalance)
 	}
@@ -329,19 +339,6 @@ func nextLeftover(in *Input, vms []VMID, owner map[topo.TileID]VMID) (topo.TileI
 		return bid, bestVM, true
 	}
 	return 0, 0, false
-}
-
-func sumOf(m map[VMID]float64) float64 {
-	keys := make([]VMID, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	t := 0.0
-	for _, k := range keys {
-		t += m[k]
-	}
-	return t
 }
 
 // flatCurve is a zero-utility curve for VMs with no batch applications.

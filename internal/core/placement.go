@@ -10,41 +10,101 @@ import (
 
 // Placement is the product of a placer: how many bytes each application
 // holds in each LLC bank, this epoch.
+//
+// Storage is dense and index-addressed: applications and banks are small
+// contiguous IDs, so the allocation matrix is one flat []float64 of shape
+// apps×banks and every side table is a slice indexed by AppID. Accessors
+// therefore iterate in naturally deterministic (ascending) order — float
+// accumulations match the sorted-map iteration the previous map-of-maps
+// layout had to enforce by hand — and a Placement can be Reset and reused
+// across epochs without reallocating.
 type Placement struct {
 	Machine Machine
-	// Alloc[app][bank] is the bytes of bank capacity reserved for app.
-	Alloc map[AppID]map[topo.TileID]float64
-	// Unpartitioned marks applications whose space is an *estimate* of
-	// natural sharing rather than an enforced partition (the batch pool of
-	// the Static and Adaptive designs). Unpartitioned applications do not
-	// get way masks and remain exposed to cross-application conflicts.
-	Unpartitioned map[AppID]bool
-	// OverlayApps marks applications placed in the Ideal-Batch overlay
-	// LLC: their bank coordinates are in a *separate copy* of the LLC, so
-	// they do not contend for physical bank capacity with the rest.
-	OverlayApps map[AppID]bool
-	// GroupWays overrides the effective associativity an application sees:
-	// apps sharing a pool compete within the pool's ways, not their own
-	// share (e.g. VM-Part batch apps see their VM's per-bank ways).
-	GroupWays map[AppID]float64
-	// TimeShared marks applications whose banks are time-multiplexed with
-	// another VM: when VMs outnumber banks, Jumanji co-schedules VMs on
-	// banks and flushes the shared banks on context switch (Sec. IV-B).
-	// Security holds (the flush removes all state), but the app restarts
-	// cold every switch. The value is the app's share of bank time.
-	TimeShared map[AppID]float64
+
+	banks int
+	napps int       // materialized application rows
+	alloc []float64 // napps×banks, row-major: alloc[app*banks+bank]
+
+	// Side tables, indexed by AppID (see the setter/getter docs).
+	unpartitioned []bool
+	overlay       []bool
+	groupWays     []float64
+	timeShared    []float64
+	nTimeShared   int
+
+	// Lazily maintained per-app totals and per-bank used-bytes. Both are
+	// recomputed on demand in ascending index order (never accumulated
+	// incrementally across Adds), so the float results are bit-identical to
+	// a from-scratch walk no matter how the placement was built.
+	totals      []float64
+	totalsDirty []bool
+	used        []float64
+	usedDirty   []bool
+
+	// WayMasks scratch, reused across calls.
+	wmShares []wayShare
+	wmOrder  []int
 }
 
 // NewPlacement returns an empty placement for the machine.
 func NewPlacement(m Machine) *Placement {
-	return &Placement{
-		Machine:       m,
-		Alloc:         make(map[AppID]map[topo.TileID]float64),
-		Unpartitioned: make(map[AppID]bool),
-		OverlayApps:   make(map[AppID]bool),
-		GroupWays:     make(map[AppID]float64),
-		TimeShared:    make(map[AppID]float64),
+	p := &Placement{}
+	p.Reset(m)
+	return p
+}
+
+// Reset reinitializes p to an empty placement for machine m, retaining all
+// backing storage. Placers call it on entry so one scratch Placement per
+// run cell replaces a fresh set of allocations every epoch.
+func (p *Placement) Reset(m Machine) {
+	p.Machine = m
+	p.banks = m.Banks()
+	p.napps = 0
+	p.alloc = p.alloc[:0]
+	p.unpartitioned = p.unpartitioned[:0]
+	p.overlay = p.overlay[:0]
+	p.groupWays = p.groupWays[:0]
+	p.timeShared = p.timeShared[:0]
+	p.nTimeShared = 0
+	p.totals = p.totals[:0]
+	p.totalsDirty = p.totalsDirty[:0]
+	if cap(p.used) < p.banks {
+		p.used = make([]float64, p.banks)
+		p.usedDirty = make([]bool, p.banks)
 	}
+	p.used = p.used[:p.banks]
+	p.usedDirty = p.usedDirty[:p.banks]
+	for b := range p.usedDirty {
+		p.usedDirty[b] = true
+	}
+}
+
+// ensureApp materializes application rows up to and including app.
+func (p *Placement) ensureApp(app AppID) {
+	if int(app) < p.napps {
+		return
+	}
+	n := int(app) + 1
+	for len(p.alloc) < n*p.banks {
+		p.alloc = append(p.alloc, 0)
+	}
+	for len(p.unpartitioned) < n {
+		p.unpartitioned = append(p.unpartitioned, false)
+		p.overlay = append(p.overlay, false)
+		p.groupWays = append(p.groupWays, 0)
+		p.timeShared = append(p.timeShared, 0)
+		p.totals = append(p.totals, 0)
+		p.totalsDirty = append(p.totalsDirty, true)
+	}
+	p.napps = n
+}
+
+// row returns app's per-bank allocation row, or nil for an unmaterialized app.
+func (p *Placement) row(app AppID) []float64 {
+	if int(app) < 0 || int(app) >= p.napps {
+		return nil
+	}
+	return p.alloc[int(app)*p.banks : (int(app)+1)*p.banks]
 }
 
 // Add reserves bytes of bank b for app. Adding zero or negative bytes is a
@@ -53,60 +113,168 @@ func (p *Placement) Add(app AppID, b topo.TileID, bytes float64) {
 	if bytes <= 0 {
 		return
 	}
-	m, ok := p.Alloc[app]
-	if !ok {
-		m = make(map[topo.TileID]float64)
-		p.Alloc[app] = m
-	}
-	m[b] += bytes
+	p.ensureApp(app)
+	p.alloc[int(app)*p.banks+int(b)] += bytes
+	p.totalsDirty[app] = true
+	p.usedDirty[b] = true
 }
+
+// adjust adds delta bytes (possibly negative) to app's share of bank b,
+// clamping tiny float residue at zero (the dense equivalent of deleting the
+// map entry). TradePlacer uses it to apply accepted trades.
+func (p *Placement) adjust(app AppID, b topo.TileID, delta float64) {
+	p.ensureApp(app)
+	i := int(app)*p.banks + int(b)
+	p.alloc[i] += delta
+	if p.alloc[i] < 1e-6 {
+		p.alloc[i] = 0
+	}
+	p.totalsDirty[app] = true
+	p.usedDirty[b] = true
+}
+
+// SetUnpartitioned marks app as sharing unenforced (estimated) space: it
+// gets no way mask and sees the bank's full associativity.
+func (p *Placement) SetUnpartitioned(app AppID) {
+	p.ensureApp(app)
+	p.unpartitioned[app] = true
+}
+
+// Unpartitioned reports whether app's space is an *estimate* of natural
+// sharing rather than an enforced partition (the batch pool of the Static
+// and Adaptive designs). Unpartitioned applications do not get way masks and
+// remain exposed to cross-application conflicts.
+func (p *Placement) Unpartitioned(app AppID) bool {
+	return int(app) < p.napps && p.unpartitioned[app]
+}
+
+// SetOverlay marks app as placed in the Ideal-Batch overlay LLC.
+func (p *Placement) SetOverlay(app AppID) {
+	p.ensureApp(app)
+	if !p.overlay[app] {
+		p.overlay[app] = true
+		// The app's bytes leave the physical bank accounting.
+		for b := 0; b < p.banks; b++ {
+			p.usedDirty[b] = true
+		}
+	}
+}
+
+// Overlay reports whether app lives in the Ideal-Batch overlay LLC: its bank
+// coordinates are in a *separate copy* of the LLC, so it does not contend
+// for physical bank capacity with the rest.
+func (p *Placement) Overlay(app AppID) bool {
+	return int(app) < p.napps && p.overlay[app]
+}
+
+// SetGroupWays overrides the effective associativity app sees: apps sharing
+// a pool compete within the pool's ways, not their own share (e.g. VM-Part
+// batch apps see their VM's per-bank ways).
+func (p *Placement) SetGroupWays(app AppID, ways float64) {
+	p.ensureApp(app)
+	p.groupWays[app] = ways
+}
+
+// GroupWays returns app's pool associativity override, or 0 when unset.
+func (p *Placement) GroupWays(app AppID) float64 {
+	if int(app) >= p.napps {
+		return 0
+	}
+	return p.groupWays[app]
+}
+
+// SetTimeShared marks app's banks as time-multiplexed with another VM at the
+// given share of bank time (Sec. IV-B oversubscription): the shared banks
+// are flushed on context switch, so security holds but the app restarts cold
+// every switch.
+func (p *Placement) SetTimeShared(app AppID, share float64) {
+	p.ensureApp(app)
+	if p.timeShared[app] == 0 && share > 0 {
+		p.nTimeShared++
+	}
+	p.timeShared[app] = share
+}
+
+// TimeShared returns app's share of bank time under time multiplexing, or 0
+// when app is not time-shared.
+func (p *Placement) TimeShared(app AppID) float64 {
+	if int(app) >= p.napps {
+		return 0
+	}
+	return p.timeShared[app]
+}
+
+// TimeSharedCount returns how many applications are time-shared.
+func (p *Placement) TimeSharedCount() int { return p.nTimeShared }
 
 // TotalOf returns app's total allocated bytes.
 //
-// The sum runs in bank order, not map order: float addition is not
-// associative, so summing in Go's randomized map iteration order would make
-// results differ between otherwise-identical runs at the ulp level — and
-// those ulps feed back into placement decisions. Absent banks contribute an
-// exact +0, which leaves the (non-negative) sum bitwise unchanged.
+// The cached sum runs in bank order, not insertion order: float addition is
+// not associative, so accumulating across Adds would make the total depend
+// on placer call order at the ulp level — and those ulps feed back into
+// placement decisions. Absent banks contribute an exact +0, which leaves the
+// (non-negative) sum bitwise unchanged.
 func (p *Placement) TotalOf(app AppID) float64 {
-	m := p.Alloc[app]
-	var t float64
-	for b := 0; b < p.Machine.Banks(); b++ {
-		t += m[topo.TileID(b)]
+	if int(app) < 0 || int(app) >= p.napps {
+		return 0
 	}
-	return t
+	if p.totalsDirty[app] {
+		row := p.row(app)
+		var t float64
+		for _, v := range row {
+			t += v
+		}
+		p.totals[app] = t
+		p.totalsDirty[app] = false
+	}
+	return p.totals[app]
 }
 
 // BankUsed returns the bytes of bank b committed to physical allocations
 // (overlay applications excluded). Apps are summed in ID order so the float
 // accumulation is deterministic (see TotalOf).
 func (p *Placement) BankUsed(b topo.TileID) float64 {
-	apps := make([]AppID, 0, len(p.Alloc))
-	for app := range p.Alloc {
-		apps = append(apps, app)
-	}
-	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
-	var t float64
-	for _, app := range apps {
-		if p.OverlayApps[app] {
-			continue
+	if p.usedDirty[b] {
+		var t float64
+		for app := 0; app < p.napps; app++ {
+			if p.overlay[app] {
+				continue
+			}
+			t += p.alloc[app*p.banks+int(b)]
 		}
-		t += p.Alloc[app][b]
+		p.used[b] = t
+		p.usedDirty[b] = false
 	}
-	return t
+	return p.used[b]
+}
+
+// AllocRow returns app's per-bank allocation as a read-only slice indexed
+// by bank ID (nil for an app with no allocation). It aliases the
+// placement's storage: callers must not modify or retain it across Adds.
+// Iterating it in index order visits banks ascending, the canonical
+// deterministic accumulation order.
+func (p *Placement) AllocRow(app AppID) []float64 { return p.row(app) }
+
+// BankCount returns the number of banks in which app holds space, without
+// materializing the bank list.
+func (p *Placement) BankCount(app AppID) int {
+	n := 0
+	for _, v := range p.row(app) {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // BanksOf returns app's banks (ascending) and matching byte weights.
 func (p *Placement) BanksOf(app AppID) (banks []topo.TileID, bytes []float64) {
-	m := p.Alloc[app]
-	banks = make([]topo.TileID, 0, len(m))
-	for b := range m {
-		banks = append(banks, b)
-	}
-	sort.Slice(banks, func(i, j int) bool { return banks[i] < banks[j] })
-	bytes = make([]float64, len(banks))
-	for i, b := range banks {
-		bytes[i] = m[b]
+	row := p.row(app)
+	for b, v := range row {
+		if v > 0 {
+			banks = append(banks, topo.TileID(b))
+			bytes = append(bytes, v)
+		}
 	}
 	return banks, bytes
 }
@@ -114,40 +282,58 @@ func (p *Placement) BanksOf(app AppID) (banks []topo.TileID, bytes []float64) {
 // AppsInBank returns the applications holding space in bank b, ascending.
 // Overlay applications are excluded: they are not physically in the bank.
 func (p *Placement) AppsInBank(b topo.TileID) []AppID {
-	var out []AppID
-	for app, banks := range p.Alloc {
-		if p.OverlayApps[app] {
+	return p.AppendAppsInBank(nil, b)
+}
+
+// AppendAppsInBank appends the applications holding space in bank b
+// (ascending, overlay excluded) to dst and returns it. Passing a reused
+// dst[:0] makes the per-epoch security sweep allocation-free.
+func (p *Placement) AppendAppsInBank(dst []AppID, b topo.TileID) []AppID {
+	for app := 0; app < p.napps; app++ {
+		if p.overlay[app] {
 			continue
 		}
-		if banks[b] > 0 {
-			out = append(out, app)
+		if p.alloc[app*p.banks+int(b)] > 0 {
+			dst = append(dst, AppID(app))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return dst
 }
 
 // AvgHops returns the capacity-weighted mean one-way hop distance from
 // app's core to its allocated banks, or 0 for an empty allocation.
 func (p *Placement) AvgHops(app AppID, core topo.TileID) float64 {
-	banks, bytes := p.BanksOf(app)
-	if len(banks) == 0 {
+	row := p.row(app)
+	mesh := p.Machine.Mesh
+	total, sum := 0.0, 0.0
+	for b, w := range row {
+		if w > 0 {
+			total += w * float64(mesh.Hops(core, topo.TileID(b)))
+			sum += w
+		}
+	}
+	if sum <= 0 {
 		return 0
 	}
-	return p.Machine.Mesh.AvgHops(core, banks, bytes)
+	return total / sum
 }
 
 // Descriptor builds the VC placement descriptor realizing app's allocation
 // (bank shares proportional to bytes). It returns false for an empty
 // allocation.
 func (p *Placement) Descriptor(app AppID) (vtb.Descriptor, bool) {
-	m := p.Alloc[app]
-	if len(m) == 0 {
-		return vtb.Descriptor{}, false
+	row := p.row(app)
+	var shares map[topo.TileID]float64
+	for b, v := range row {
+		if v > 0 {
+			if shares == nil {
+				shares = make(map[topo.TileID]float64)
+			}
+			shares[topo.TileID(b)] = v
+		}
 	}
-	shares := make(map[topo.TileID]float64, len(m))
-	for b, bytes := range m {
-		shares[b] = bytes
+	if shares == nil {
+		return vtb.Descriptor{}, false
 	}
 	return vtb.NewDescriptor(shares), true
 }
@@ -157,21 +343,23 @@ func (p *Placement) Descriptor(app AppID) (vtb.Descriptor, bool) {
 // unpartitioned apps the full bank associativity; otherwise the
 // capacity-weighted mean ways of the app's own partition.
 func (p *Placement) MeanWays(app AppID) float64 {
-	if w, ok := p.GroupWays[app]; ok && w > 0 {
+	if w := p.GroupWays(app); w > 0 {
 		return w
 	}
-	if p.Unpartitioned[app] {
+	if p.Unpartitioned(app) {
 		return float64(p.Machine.WaysPerBank)
 	}
-	banks, bytes := p.BanksOf(app)
-	if len(banks) == 0 {
-		return 0
-	}
+	row := p.row(app)
 	wayBytes := p.Machine.WayBytes()
 	var total, weight float64
-	for _, by := range bytes {
-		total += (by / wayBytes) * by
-		weight += by
+	for _, by := range row {
+		if by > 0 {
+			total += (by / wayBytes) * by
+			weight += by
+		}
+	}
+	if weight <= 0 {
+		return 0
 	}
 	return total / weight
 }
@@ -179,20 +367,17 @@ func (p *Placement) MeanWays(app AppID) float64 {
 // Validate checks the placement against physical capacity and the input:
 // non-negative allocations, no over-committed bank, and every app present.
 func (p *Placement) Validate(in *Input) error {
-	for app, banks := range p.Alloc {
-		if int(app) < 0 || int(app) >= len(in.Apps) {
-			return fmt.Errorf("core: placement for unknown app %d", app)
-		}
-		for b, bytes := range banks {
-			if int(b) < 0 || int(b) >= p.Machine.Banks() {
-				return fmt.Errorf("core: app %d placed in invalid bank %d", app, b)
-			}
+	if p.napps > len(in.Apps) {
+		return fmt.Errorf("core: placement for unknown app %d", p.napps-1)
+	}
+	for app := 0; app < p.napps; app++ {
+		for b, bytes := range p.row(AppID(app)) {
 			if bytes < 0 {
 				return fmt.Errorf("core: app %d has negative bytes in bank %d", app, b)
 			}
 		}
 	}
-	for b := 0; b < p.Machine.Banks(); b++ {
+	for b := 0; b < p.banks; b++ {
 		if used := p.BankUsed(topo.TileID(b)); used > p.Machine.BankBytes*(1+1e-9) {
 			return fmt.Errorf("core: bank %d over-committed: %g > %g", b, used, p.Machine.BankBytes)
 		}
@@ -207,24 +392,50 @@ func (p *Placement) Validate(in *Input) error {
 
 // VMsSharingBank returns the distinct VMs with physical space in bank b.
 func (p *Placement) VMsSharingBank(in *Input, b topo.TileID) []VMID {
-	seen := make(map[VMID]bool)
-	for _, app := range p.AppsInBank(b) {
-		seen[in.Apps[app].VM] = true
+	return p.AppendVMsSharingBank(nil, in, b)
+}
+
+// AppendVMsSharingBank appends the distinct VMs with physical space in bank
+// b to dst (ascending) and returns it. Passing a reused dst[:0] avoids the
+// per-call allocation of VMsSharingBank.
+func (p *Placement) AppendVMsSharingBank(dst []VMID, in *Input, b topo.TileID) []VMID {
+	start := len(dst)
+	for app := 0; app < p.napps; app++ {
+		if p.overlay[app] || p.alloc[app*p.banks+int(b)] <= 0 {
+			continue
+		}
+		vm := in.Apps[app].VM
+		seen := false
+		for _, v := range dst[start:] {
+			if v == vm {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, vm)
+		}
 	}
-	out := make([]VMID, 0, len(seen))
-	for vm := range seen {
-		out = append(out, vm)
-	}
-	sortVMIDs(out)
-	return out
+	sortVMIDs(dst[start:])
+	return dst
 }
 
 // IsVMIsolated reports whether no bank is shared by two VMs — Jumanji's
 // security guarantee (Sec. VI-D).
 func (p *Placement) IsVMIsolated(in *Input) bool {
-	for b := 0; b < p.Machine.Banks(); b++ {
-		if len(p.VMsSharingBank(in, topo.TileID(b))) > 1 {
-			return false
+	for b := 0; b < p.banks; b++ {
+		first := VMID(-1)
+		hasFirst := false
+		for app := 0; app < p.napps; app++ {
+			if p.overlay[app] || p.alloc[app*p.banks+b] <= 0 {
+				continue
+			}
+			vm := in.Apps[app].VM
+			if !hasFirst {
+				first, hasFirst = vm, true
+			} else if vm != first {
+				return false
+			}
 		}
 	}
 	return true
@@ -242,22 +453,27 @@ func (p *Placement) MovedFraction(app AppID, prev *Placement) float64 {
 	if prev == nil {
 		return 0
 	}
-	cur := p.Alloc[app]
-	old := prev.Alloc[app]
+	cur := p.row(app)
+	old := prev.row(app)
 	curTotal := p.TotalOf(app)
 	oldTotal := prev.TotalOf(app)
-	if len(old) == 0 || len(cur) == 0 || curTotal <= 0 || oldTotal <= 0 {
+	if curTotal <= 0 || oldTotal <= 0 {
 		return 0
 	}
 	// Total variation: half the L1 distance between the share distributions.
-	// Walk all banks in order rather than ranging over the two maps: banks in
-	// neither allocation contribute |0-0| = 0, banks in one contribute its
-	// share, and the float accumulation order no longer depends on map
-	// iteration (see TotalOf).
+	// Banks are walked in ascending order: banks in neither allocation
+	// contribute |0-0| = 0, and the float accumulation order never depends
+	// on how the placement was built (see TotalOf).
 	tv := 0.0
-	for b := 0; b < p.Machine.Banks(); b++ {
-		id := topo.TileID(b)
-		d := old[id]/oldTotal - cur[id]/curTotal
+	for b := 0; b < p.banks; b++ {
+		var o, c float64
+		if b < len(old) {
+			o = old[b]
+		}
+		if b < len(cur) {
+			c = cur[b]
+		}
+		d := o/oldTotal - c/curTotal
 		if d < 0 {
 			d = -d
 		}
@@ -266,42 +482,44 @@ func (p *Placement) MovedFraction(app AppID, prev *Placement) float64 {
 	return tv / 2
 }
 
+type wayShare struct {
+	app   AppID
+	exact float64
+	ways  int
+	rem   float64
+}
+
 // WayMasks computes disjoint per-application way masks for bank b from the
 // byte allocations (largest-remainder rounding to whole ways), skipping
 // unpartitioned and overlay applications. The masks drive the Intel CAT
 // model in the detailed simulator.
 func (p *Placement) WayMasks(b topo.TileID) map[AppID]uint64 {
-	type share struct {
-		app   AppID
-		exact float64
-		ways  int
-		rem   float64
-	}
-	var shares []share
+	shares := p.wmShares[:0]
 	wayBytes := p.Machine.WayBytes()
-	for app, banks := range p.Alloc {
-		if p.Unpartitioned[app] || p.OverlayApps[app] {
+	for app := 0; app < p.napps; app++ {
+		if p.unpartitioned[app] || p.overlay[app] {
 			continue
 		}
-		if bytes := banks[b]; bytes > 0 {
+		if bytes := p.alloc[app*p.banks+int(b)]; bytes > 0 {
 			exact := bytes / wayBytes
-			shares = append(shares, share{app: app, exact: exact, ways: int(exact), rem: exact - float64(int(exact))})
+			shares = append(shares, wayShare{app: AppID(app), exact: exact, ways: int(exact), rem: exact - float64(int(exact))})
 		}
 	}
+	p.wmShares = shares
 	if len(shares) == 0 {
 		return nil
 	}
-	sort.Slice(shares, func(i, j int) bool { return shares[i].app < shares[j].app })
 	assigned := 0
 	for i := range shares {
 		assigned += shares[i].ways
 	}
 	// Distribute leftover ways by largest remainder, but never beyond the
 	// bank's associativity.
-	order := make([]int, len(shares))
-	for i := range order {
-		order[i] = i
+	order := p.wmOrder[:0]
+	for i := range shares {
+		order = append(order, i)
 	}
+	p.wmOrder = order
 	sort.SliceStable(order, func(i, j int) bool { return shares[order[i]].rem > shares[order[j]].rem })
 	for _, i := range order {
 		if assigned >= p.Machine.WaysPerBank {

@@ -2,8 +2,6 @@ package core
 
 import (
 	"math"
-
-	"jumanji/internal/topo"
 )
 
 // TradePlacer implements the more sophisticated algorithm the paper
@@ -36,7 +34,12 @@ func (p *TradePlacer) Name() string { return "Jumanji: Trading" }
 
 // Place implements Placer.
 func (p *TradePlacer) Place(in *Input) *Placement {
-	pl := JumanjiPlacer{}.Place(in)
+	return p.PlaceInto(in, NewPlacement(in.Machine))
+}
+
+// PlaceInto implements ScratchPlacer.
+func (p *TradePlacer) PlaceInto(in *Input, pl *Placement) *Placement {
+	JumanjiPlacer{}.PlaceInto(in, pl)
 	memLat := p.MemLatency
 	if memLat == 0 {
 		memLat = 120
@@ -143,22 +146,8 @@ func (p *TradePlacer) tradeForVM(in *Input, pl *Placement, lat AppID, batchApps 
 	// bank; the donor shrinks by way+comp far and grows a way near. Bank
 	// capacity is conserved in both banks.
 	p.TradesAccepted++
-	adjust(pl, lat, nearBank, -wayBytes)
-	adjust(pl, lat, farBank, wayBytes+comp)
-	adjust(pl, donor, farBank, -(wayBytes + comp))
-	adjust(pl, donor, nearBank, wayBytes)
-}
-
-// adjust adds delta bytes (possibly negative) to app's share of bank b,
-// clamping tiny float residue at zero.
-func adjust(pl *Placement, app AppID, b topo.TileID, delta float64) {
-	m := pl.Alloc[app]
-	if m == nil {
-		m = make(map[topo.TileID]float64)
-		pl.Alloc[app] = m
-	}
-	m[b] += delta
-	if m[b] < 1e-6 {
-		delete(m, b)
-	}
+	pl.adjust(lat, nearBank, -wayBytes)
+	pl.adjust(lat, farBank, wayBytes+comp)
+	pl.adjust(donor, farBank, -(wayBytes + comp))
+	pl.adjust(donor, nearBank, wayBytes)
 }

@@ -178,3 +178,27 @@ type Placer interface {
 	// placement that passes Placement.Validate for the same input.
 	Place(in *Input) *Placement
 }
+
+// ScratchPlacer is implemented by placers that can compute into a
+// caller-provided Placement, so an epoch loop reuses one scratch placement
+// instead of allocating a fresh one every reconfiguration. All placers in
+// this package implement it.
+type ScratchPlacer interface {
+	Placer
+	// PlaceInto computes the epoch's allocation into pl (resetting it
+	// first) and returns pl. The result is identical to Place(in).
+	PlaceInto(in *Input, pl *Placement) *Placement
+}
+
+// PlaceWith runs p via PlaceInto when p supports scratch reuse, recycling
+// pl; otherwise it falls back to p.Place. pl may be nil (a fresh placement
+// is allocated).
+func PlaceWith(p Placer, in *Input, pl *Placement) *Placement {
+	if sp, ok := p.(ScratchPlacer); ok {
+		if pl == nil {
+			pl = NewPlacement(in.Machine)
+		}
+		return sp.PlaceInto(in, pl)
+	}
+	return p.Place(in)
+}

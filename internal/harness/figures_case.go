@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"jumanji/internal/core"
 	"jumanji/internal/system"
@@ -43,8 +44,9 @@ func Fig4(o Options) Fig4Result {
 		var tl timeline
 		for _, s := range r.Timeline {
 			l, a, nl, na := 0.0, 0.0, 0, 0
+			// Series are in app order; NaN marks epochs with no sample.
 			for i, v := range s.LatNorm {
-				if lcApps[i] {
+				if lcApps[i] && !math.IsNaN(v) {
 					l += v
 					nl++
 				}

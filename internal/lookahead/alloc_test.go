@@ -1,0 +1,31 @@
+package lookahead
+
+import (
+	"testing"
+
+	"jumanji/internal/mrc"
+)
+
+// Allocation-regression guard for the convex fast path, which the epoch
+// sweeps hit on every reconfiguration. The per-request scratch (steps, caps,
+// marginal rates) is pooled, so a call should allocate only the returned
+// sizes slice. Run via `go test -run AllocGuard -count=1`.
+func TestAllocGuardAllocateConvex(t *testing.T) {
+	unit := 1 << 20
+	reqs := []Request{
+		{Curve: mrc.New(float64(unit), []float64{0.9, 0.5, 0.3, 0.2, 0.15, 0.12}).ConvexHull()},
+		{Curve: mrc.New(float64(unit), []float64{0.8, 0.6, 0.45, 0.35, 0.3, 0.27}).ConvexHull()},
+		{Curve: mrc.New(float64(unit), []float64{0.7, 0.4, 0.25, 0.18, 0.14, 0.12}).ConvexHull()},
+	}
+	var out []float64
+	allocs := testing.AllocsPerRun(200, func() {
+		out = Allocate(8*float64(unit), reqs)
+	})
+	_ = out
+	// One allocation for the returned sizes slice; the pooled scratch and
+	// the closure plumbing must stay off the per-call path.
+	const maxAllocs = 2
+	if allocs > maxAllocs {
+		t.Fatalf("Allocate (convex path) allocated %v times per call, want <= %d", allocs, maxAllocs)
+	}
+}

@@ -1,0 +1,26 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the event queue's push+pop round trip —
+// the detailed simulator's innermost bookkeeping. Each iteration schedules a
+// batch of events at scattered timestamps and drains them, so the number
+// reflects steady-state heap churn (the attack experiments keep thousands of
+// events in flight). allocs/op is the figure the typed-heap refactor targets:
+// the container/heap implementation boxed one queuedEvent per push.
+func BenchmarkEngineSchedule(b *testing.B) {
+	const batch = 512
+	var e Engine
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			// Scattered delays exercise real sift-up/sift-down paths rather
+			// than FIFO fast paths.
+			e.Schedule(Time((j*2654435761)%1024), fn)
+		}
+		e.RunAll()
+	}
+	b.ReportMetric(batch, "events/op")
+}

@@ -5,8 +5,6 @@
 // internal/system instead, which needs no event queue.
 package sim
 
-import "container/heap"
-
 // Time is simulation time in cycles.
 type Time uint64
 
@@ -19,23 +17,53 @@ type queuedEvent struct {
 	fn  Event
 }
 
+// before is the queue's strict total order: by timestamp, then FIFO among
+// events at the same cycle. Because (at, seq) pairs are unique, any correct
+// heap yields exactly one execution order.
+func (ev queuedEvent) before(other queuedEvent) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
+	}
+	return ev.seq < other.seq
+}
+
+// eventQueue is a typed binary min-heap. container/heap's interface{} API
+// boxed one queuedEvent per Push and per Pop — two allocations per event on
+// the detailed simulator's innermost path — so the sift operations are
+// implemented directly instead.
 type eventQueue []queuedEvent
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (q eventQueue) siftUp(i int) {
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.before(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
 	}
-	return q[i].seq < q[j].seq
+	q[i] = ev
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queuedEvent)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+
+func (q eventQueue) siftDown(i int) {
+	ev := q[i]
+	n := len(q)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q[r].before(q[child]) {
+			child = r
+		}
+		if !q[child].before(ev) {
+			break
+		}
+		q[i] = q[child]
+		i = child
+	}
+	q[i] = ev
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -54,7 +82,8 @@ func (e *Engine) Now() Time { return e.now }
 // cycle, after already-queued events for this cycle).
 func (e *Engine) Schedule(delay Time, fn Event) {
 	e.nextID++
-	heap.Push(&e.queue, queuedEvent{at: e.now + delay, seq: e.nextID, fn: fn})
+	e.queue = append(e.queue, queuedEvent{at: e.now + delay, seq: e.nextID, fn: fn})
+	e.queue.siftUp(len(e.queue) - 1)
 }
 
 // Pending returns the number of queued events.
@@ -66,7 +95,14 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(queuedEvent)
+	ev := e.queue[0]
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = queuedEvent{} // release the event closure to the GC
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.queue.siftDown(0)
+	}
 	e.now = ev.at
 	ev.fn()
 	return true

@@ -1,0 +1,31 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+
+	"jumanji/internal/core"
+)
+
+// BenchmarkEpochLoop measures the epoch-based model end to end: one
+// case-study run (4 VMs × (xapian + 4 SPEC), 30 epochs) under JumanjiPlacer,
+// the cell every figure sweep executes thousands of times. Both ns/op and
+// allocs/op matter: the dense-placement refactor's acceptance bar is >=2x
+// fewer allocations per epoch with no ns/op regression.
+//
+//	go test -run xxx -bench EpochLoop -benchmem ./internal/system
+func BenchmarkEpochLoop(b *testing.B) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	wl, err := CaseStudyWorkload(cfg.Machine, "xapian", rng, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const epochs = 30
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(cfg, wl, core.JumanjiPlacer{}, epochs, 10)
+	}
+	b.ReportMetric(epochs, "epochs/op")
+}

@@ -76,7 +76,9 @@ func (c Config) assocFactor(ways float64) float64 {
 	return ways / (ways + c.AssocHalfWays)
 }
 
-// epochModel evaluates every application's CPI under a placement.
+// epochModel evaluates every application's CPI under a placement. One value
+// per run is reused across epochs via reset, so the per-epoch vote tables
+// and loserFrac live in recycled scratch instead of fresh maps.
 type epochModel struct {
 	cfg  Config
 	in   *core.Input
@@ -84,12 +86,41 @@ type epochModel struct {
 	prev *core.Placement // previous epoch's placement (nil on the first)
 	// loserFrac[app] is the fraction of the app's capacity living in banks
 	// where its preferred replacement policy loses the set-dueling election.
-	loserFrac map[core.AppID]float64
+	loserFrac []float64
+	// Per-bank set-dueling vote scratch (physical and overlay LLC spaces).
+	physical, overlay []vote
+}
+
+type vote struct{ brrip, srrip float64 }
+
+// reset points the model at this epoch's placement and recomputes the
+// set-dueling state, reusing all scratch.
+func (m *epochModel) reset(in *core.Input, pl, prev *core.Placement, apps []*appState) {
+	m.in, m.pl, m.prev = in, pl, prev
+	if cap(m.loserFrac) < len(apps) {
+		m.loserFrac = make([]float64, len(apps))
+	}
+	m.loserFrac = m.loserFrac[:len(apps)]
+	for i := range m.loserFrac {
+		m.loserFrac[i] = 0
+	}
+	banks := m.cfg.Machine.Banks()
+	if cap(m.physical) < banks {
+		m.physical = make([]vote, banks)
+		m.overlay = make([]vote, banks)
+	}
+	m.physical = m.physical[:banks]
+	m.overlay = m.overlay[:banks]
+	for b := 0; b < banks; b++ {
+		m.physical[b] = vote{}
+		m.overlay[b] = vote{}
+	}
+	m.computeDueling(apps)
 }
 
 func newEpochModel(cfg Config, in *core.Input, pl, prev *core.Placement, apps []*appState) *epochModel {
-	m := &epochModel{cfg: cfg, in: in, pl: pl, prev: prev, loserFrac: make(map[core.AppID]float64)}
-	m.computeDueling(apps)
+	m := &epochModel{cfg: cfg}
+	m.reset(in, pl, prev, apps)
 	return m
 }
 
@@ -98,61 +129,53 @@ func newEpochModel(cfg Config, in *core.Input, pl, prev *core.Placement, apps []
 // where it loses. Set-dueling state is physically per bank, so overlay
 // (Ideal Batch) applications duel on their own overlay banks.
 func (m *epochModel) computeDueling(apps []*appState) {
-	type vote struct{ brrip, srrip float64 }
-	physical := make(map[topo.TileID]*vote)
-	overlay := make(map[topo.TileID]*vote)
-	voteMap := func(a *appState) map[topo.TileID]*vote {
-		if m.pl.OverlayApps[a.id] {
-			return overlay
+	voteSlice := func(a *appState) []vote {
+		if m.pl.Overlay(a.id) {
+			return m.overlay
 		}
-		return physical
+		return m.physical
 	}
 	for _, a := range apps {
-		banks, bytes := m.pl.BanksOf(a.id)
-		total := 0.0
-		for _, by := range bytes {
-			total += by
-		}
+		// TotalOf sums the allocation row in bank order — bitwise equal to
+		// summing only the positive entries, since zeros add an exact +0.
+		total := m.pl.TotalOf(a.id)
 		if total == 0 {
 			continue
 		}
-		vm := voteMap(a)
-		for i, b := range banks {
-			v := vm[b]
-			if v == nil {
-				v = &vote{}
-				vm[b] = v
+		votes := voteSlice(a)
+		for b, by := range m.pl.AllocRow(a.id) {
+			if by <= 0 {
+				continue
 			}
-			w := a.accessRate * bytes[i] / total
+			w := a.accessRate * by / total
 			if a.prefBRRIP {
-				v.brrip += w
+				votes[b].brrip += w
 			} else {
-				v.srrip += w
+				votes[b].srrip += w
 			}
 		}
 	}
 	for _, a := range apps {
-		banks, bytes := m.pl.BanksOf(a.id)
+		votes := voteSlice(a)
 		total, losing := 0.0, 0.0
-		vm := voteMap(a)
-		for i, b := range banks {
-			total += bytes[i]
-			v := vm[b]
-			if v == nil {
+		for b, by := range m.pl.AllocRow(a.id) {
+			if by <= 0 {
 				continue
 			}
+			total += by
 			// Exposure is continuous in the opposing vote share: even when
 			// an app's preferred policy wins the PSEL election, the loser's
 			// dedicated leader sets still run the losing policy, and the
 			// dueling counters wander with the co-runners' miss pressure.
 			// This is what makes Fig. 12's tail vary *continuously* with
 			// the co-running mix.
+			v := &votes[b]
 			opp := v.brrip
 			if a.prefBRRIP {
 				opp = v.srrip
 			}
 			if s := v.brrip + v.srrip; s > 0 {
-				losing += bytes[i] * (opp / s)
+				losing += by * (opp / s)
 			}
 		}
 		if total > 0 {
@@ -180,7 +203,7 @@ func (m *epochModel) appPerf(a *appState) perf {
 		ways = float64(m.cfg.Machine.WaysPerBank)
 	}
 	effSize := size * m.cfg.assocFactor(ways)
-	if share, ok := m.pl.TimeShared[a.id]; ok && share > 0 {
+	if share := m.pl.TimeShared(a.id); share > 0 {
 		// Time-multiplexed banks are flushed on every context switch
 		// (Sec. IV-B): the app runs warm only its share of the time, which
 		// first-order behaves like a proportionally smaller cache.

@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"jumanji/internal/core"
@@ -94,15 +95,13 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 	if reconfigured {
 		o.reconfigs.Inc()
 	}
-	// Observe in app order: the histogram's running sum is a float
-	// accumulator, so map-order iteration would drift it by ulps run to run.
-	keys := make([]int, 0, len(sample.LatNorm))
-	for id := range sample.LatNorm {
-		keys = append(keys, id)
-	}
-	sort.Ints(keys)
-	for _, id := range keys {
-		o.latNorm.Observe(sample.LatNorm[id])
+	// The timeline slice is naturally in app order (the histogram's running
+	// sum is a float accumulator, so iteration order matters); NaN marks
+	// apps with no latency sample this epoch.
+	for _, v := range sample.LatNorm {
+		if !math.IsNaN(v) {
+			o.latNorm.Observe(v)
+		}
 	}
 	for id, g := range o.allocs {
 		g.Set(in.LatSizes[id])
@@ -111,7 +110,9 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 	var actions []obs.ControllerAction
 	var changes []obs.PlacementChange
 	maxMoved := 0.0
-	if reconfigured {
+	// Decision records are only built when a sink will consume them, so
+	// uninstrumented runs pay nothing for the reconfiguration log.
+	if reconfigured && (o.cfg.Events.Enabled() || o.cfg.Trace.Enabled()) {
 		for _, id := range in.LatCritApps() {
 			size := in.LatSizes[id]
 			last, seen := o.prevSizes[id]
@@ -121,8 +122,10 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 			act := obs.ControllerAction{
 				App: int(id), Name: apps[id].name,
 				AllocBytes: size, DeltaBytes: size - last,
-				Action:  classifyAction(size-last, fixedLat != nil, ctrls[id], o.prevPanics[id]),
-				LatNorm: sample.LatNorm[int(id)],
+				Action: classifyAction(size-last, fixedLat != nil, ctrls[id], o.prevPanics[id]),
+			}
+			if v := sample.LatNorm[int(id)]; !math.IsNaN(v) {
+				act.LatNorm = v
 			}
 			act.DeadlineViolated = act.LatNorm > 1
 			actions = append(actions, act)
@@ -133,13 +136,12 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 		}
 		for i := range in.Apps {
 			id := core.AppID(i)
-			banks, _ := pl.BanksOf(id)
 			moved := pl.MovedFraction(id, prev)
 			if moved > maxMoved {
 				maxMoved = moved
 			}
 			changes = append(changes, obs.PlacementChange{
-				App: i, Name: apps[i].name, Banks: len(banks),
+				App: i, Name: apps[i].name, Banks: pl.BankCount(id),
 				TotalBytes: pl.TotalOf(id), MovedFraction: moved,
 			})
 		}
@@ -167,7 +169,7 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 		for _, id := range in.LatCritApps() {
 			key := fmt.Sprintf("%d:%s", id, apps[id].name)
 			allocMB[key] = sample.AllocMB[int(id)]
-			if v, ok := sample.LatNorm[int(id)]; ok {
+			if v := sample.LatNorm[int(id)]; !math.IsNaN(v) {
 				latNorm[key] = v
 			}
 		}

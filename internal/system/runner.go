@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"math"
 
 	"jumanji/internal/core"
 	"jumanji/internal/energy"
@@ -36,10 +37,11 @@ type AppResult struct {
 type EpochSample struct {
 	Epoch int
 	// LatNorm[i] is app i's mean request latency this epoch normalized to
-	// its deadline (only latency-critical apps appear).
-	LatNorm map[int]float64
+	// its deadline. NaN marks apps with no sample this epoch (all batch
+	// apps, and latency-critical apps that completed no requests).
+	LatNorm []float64
 	// AllocMB[i] is app i's LLC allocation in MB.
-	AllocMB map[int]float64
+	AllocMB []float64
 	// Vulnerability is the epoch's access-weighted attacker count.
 	Vulnerability float64
 }
@@ -116,7 +118,17 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		totalVulnAcc float64
 	)
 
-	var prevPl, pl *core.Placement
+	// Timeline samples index one flat slab per series instead of a pair of
+	// maps per epoch; the epoch model, security sweep, placer input, and
+	// placements themselves are recycled scratch.
+	n := len(apps)
+	latSlab := make([]float64, epochs*n)
+	allocSlab := make([]float64, epochs*n)
+	res.Timeline = make([]EpochSample, 0, epochs)
+	model := &epochModel{cfg: cfg}
+	vuln := make([]float64, n)
+
+	var prevPl, pl, spare *core.Placement
 	var in *core.Input
 	for epoch := 0; epoch < epochs; epoch++ {
 		for _, mig := range wl.Migrations {
@@ -134,15 +146,25 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		var prevForModel *core.Placement
 		reconfigured := false
 		if pl == nil || epoch%cfg.ReconfigEpochs == 0 {
-			in = buildInput(cfg, apps, ctrls, qctrls, fixedLat)
-			prevPl, pl = pl, placer.Place(in)
+			in = buildInput(cfg, apps, ctrls, qctrls, fixedLat, in)
+			// Rotate placement buffers: the placement from two
+			// reconfigurations ago is dead and becomes this epoch's scratch
+			// (the immediately previous one must survive for MovedFraction).
+			prevPl, pl, spare = pl, core.PlaceWith(placer, in, spare), prevPl
 			prevForModel = prevPl
 			reconfigured = true
 		}
-		model := newEpochModel(cfg, in, pl, prevForModel, apps)
-		vuln := vulnerabilityByApp(in, pl)
+		model.reset(in, pl, prevForModel, apps)
+		vulnerabilityByApp(in, pl, vuln)
 
-		sample := EpochSample{Epoch: epoch, LatNorm: make(map[int]float64), AllocMB: make(map[int]float64)}
+		sample := EpochSample{
+			Epoch:   epoch,
+			LatNorm: latSlab[epoch*n : (epoch+1)*n : (epoch+1)*n],
+			AllocMB: allocSlab[epoch*n : (epoch+1)*n : (epoch+1)*n],
+		}
+		for i := range sample.LatNorm {
+			sample.LatNorm[i] = math.NaN()
+		}
 		epochVulnW, epochVulnAcc := 0.0, 0.0
 		for i, a := range apps {
 			p := model.appPerf(a)
@@ -202,10 +224,10 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			if epoch >= warmup {
 				sumAlloc[i] += p.SizeBytes
 				sumHops[i] += p.AvgHops
-				sumVuln[i] += vuln[core.AppID(i)]
+				sumVuln[i] += vuln[i]
 			}
 			epochVulnW += accesses
-			epochVulnAcc += accesses * vuln[core.AppID(i)]
+			epochVulnAcc += accesses * vuln[i]
 		}
 		if epochVulnW > 0 {
 			sample.Vulnerability = epochVulnAcc / epochVulnW
@@ -368,10 +390,19 @@ func buildQueueControllers(cfg Config, apps []*appState) map[core.AppID]*feedbac
 	return out
 }
 
-// buildInput assembles the placer input for one epoch. A non-nil fixedLat
-// pins every latency-critical allocation instead of the controllers.
-func buildInput(cfg Config, apps []*appState, ctrls map[core.AppID]*feedback.Controller, qctrls map[core.AppID]*feedback.QueueController, fixedLat *float64) *core.Input {
-	in := &core.Input{Machine: cfg.Machine, LatSizes: make(map[core.AppID]float64)}
+// buildInput assembles the placer input for one epoch, reusing prev's
+// backing storage when non-nil (placers do not retain their input). A
+// non-nil fixedLat pins every latency-critical allocation instead of the
+// controllers.
+func buildInput(cfg Config, apps []*appState, ctrls map[core.AppID]*feedback.Controller, qctrls map[core.AppID]*feedback.QueueController, fixedLat *float64, prev *core.Input) *core.Input {
+	in := prev
+	if in == nil {
+		in = &core.Input{Machine: cfg.Machine, LatSizes: make(map[core.AppID]float64)}
+	} else {
+		in.Machine = cfg.Machine
+		in.Apps = in.Apps[:0]
+		clear(in.LatSizes)
+	}
 	for _, a := range apps {
 		spec := core.AppSpec{
 			Name:            a.name,
@@ -401,52 +432,41 @@ func buildInput(cfg Config, apps []*appState, ctrls map[core.AppID]*feedback.Con
 // its capacity share per bank) — the Sec. VII security metric. Overlay
 // (Ideal Batch) applications live in per-VM overlay banks shared only
 // within their VM, so their count considers overlay co-tenants only.
-func vulnerabilityByApp(in *core.Input, pl *core.Placement) map[core.AppID]float64 {
-	// Physical bank contents.
-	type key struct {
-		overlay bool
-		bank    int
-	}
-	occupants := make(map[key]map[core.AppID]bool)
+func vulnerabilityByApp(in *core.Input, pl *core.Placement, out []float64) {
 	for i := range in.Apps {
 		app := core.AppID(i)
-		banks, _ := pl.BanksOf(app)
-		ov := pl.OverlayApps[app]
-		for _, b := range banks {
-			k := key{ov, int(b)}
-			if occupants[k] == nil {
-				occupants[k] = make(map[core.AppID]bool)
-			}
-			occupants[k][app] = true
-		}
-	}
-	out := make(map[core.AppID]float64, len(in.Apps))
-	for i := range in.Apps {
-		app := core.AppID(i)
-		banks, bytes := pl.BanksOf(app)
-		ov := pl.OverlayApps[app]
+		ov := pl.Overlay(app)
+		ts := pl.TimeShared(app) > 0
 		total, weighted := 0.0, 0.0
-		for j, b := range banks {
+		for b, by := range pl.AllocRow(app) {
+			if by <= 0 {
+				continue
+			}
 			attackers := 0
-			for other := range occupants[key{ov, int(b)}] {
-				if in.Apps[other].VM == in.Apps[app].VM {
+			for j := range in.Apps {
+				other := core.AppID(j)
+				if in.Apps[j].VM == in.Apps[i].VM {
+					continue
+				}
+				orow := pl.AllocRow(other)
+				if b >= len(orow) || orow[b] <= 0 || pl.Overlay(other) != ov {
 					continue
 				}
 				// Time-multiplexed co-tenants (Sec. IV-B oversubscription)
 				// are never resident together: the bank is flushed on
 				// every context switch, so there is no shared state or
 				// port contention to observe.
-				if pl.TimeShared[app] > 0 && pl.TimeShared[other] > 0 {
+				if ts && pl.TimeShared(other) > 0 {
 					continue
 				}
 				attackers++
 			}
-			total += bytes[j]
-			weighted += bytes[j] * float64(attackers)
+			total += by
+			weighted += by * float64(attackers)
 		}
+		out[i] = 0
 		if total > 0 {
-			out[app] = weighted / total
+			out[i] = weighted / total
 		}
 	}
-	return out
 }

@@ -22,6 +22,7 @@ package jumanji
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -508,8 +509,10 @@ func convert(d Design, rr *system.RunResult) *Result {
 	for _, s := range rr.Timeline {
 		tp := TimePoint{Epoch: s.Epoch, Vulnerability: s.Vulnerability}
 		nLat, nAlloc := 0, 0
+		// The timeline series run in app order (deterministic float sums);
+		// NaN marks apps with no latency sample that epoch.
 		for i, v := range s.LatNorm {
-			if lcIdx[i] {
+			if lcIdx[i] && !math.IsNaN(v) {
 				tp.LatCritLatNorm += v
 				nLat++
 			}
