@@ -309,6 +309,34 @@ func BenchmarkObsOverhead(b *testing.B) {
 			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
 		}
 	})
+	// The span timer pair: all three sinks on with cfg.Spans left nil (the
+	// default even when sinks are enabled — -spans is its own flag) versus
+	// spans collecting. The nil case pins that the Start/Stop call sites
+	// added to the runner cost one pointer check; the enabled case bounds
+	// what -status/-spans adds on top: two clock reads and one locked
+	// histogram observe per phase, amortized over a 100 ms-modeled epoch.
+	b.Run("spans-disabled", func(b *testing.B) {
+		cfg, wl := setup(b)
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Events = obs.NewEventLog(io.Discard)
+		cfg.Trace = obs.NewTrace(io.Discard)
+		cfg.Spans = nil
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
+		}
+	})
+	b.Run("spans-enabled", func(b *testing.B) {
+		cfg, wl := setup(b)
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Events = obs.NewEventLog(io.Discard)
+		cfg.Trace = obs.NewTrace(io.Discard)
+		cfg.Spans = obs.NewSpans()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
+		}
+	})
 }
 
 // BenchmarkFiguresParallel is the experiment engine's scaling benchmark: the

@@ -1,0 +1,126 @@
+// Command benchdiff guards the repository's benchmark baselines: it runs
+// the baseline's benchmarks via `go test -bench`, compares the measured
+// ns/op and allocs/op against the committed BENCH_*.json values, and exits
+// nonzero when any metric regresses past the tolerance.
+//
+// Examples:
+//
+//	benchdiff                                # gate on BENCH_dense.json, ±25%
+//	benchdiff -baseline BENCH_parallel.json -tolerance 0.5
+//	go test -bench . ./... | tee out.txt; benchdiff -input out.txt
+//
+// Exit status: 0 when every compared metric is within tolerance, 1 on
+// regression, 2 on usage or execution errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"jumanji/internal/benchdiff"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline  = fs.String("baseline", "BENCH_dense.json", "committed baseline file to compare against")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed fractional slowdown before a metric counts as regressed")
+		input     = fs.String("input", "", "parse pre-recorded `go test -bench` output from this file instead of running benchmarks")
+		benchtime = fs.String("benchtime", "", "-benchtime passed through to `go test` (default: go's 1s)")
+		count     = fs.Int("count", 3, "-count passed through to `go test`; benchdiff keeps each metric's minimum across runs to shed scheduler noise")
+		pkg       = fs.String("pkg", "./...", "package pattern benchmarks are run in")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *tolerance < 0 {
+		fmt.Fprintln(stderr, "benchdiff: -tolerance must be >= 0")
+		return 2
+	}
+
+	base, err := benchdiff.LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	var benchOut io.Reader
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		defer f.Close()
+		benchOut = f
+	} else {
+		cmdArgs := []string{"test", "-run", "^$", "-bench", base.BenchRegexp(), "-benchmem", fmt.Sprintf("-count=%d", *count)}
+		if *benchtime != "" {
+			cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
+		}
+		cmdArgs = append(cmdArgs, *pkg)
+		fmt.Fprintf(stderr, "benchdiff: go %s\n", joinArgs(cmdArgs))
+		cmd := exec.Command("go", cmdArgs...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintln(stderr, "benchdiff: go test:", err)
+			return 2
+		}
+		benchOut = &out
+	}
+
+	got, err := benchdiff.ParseBenchOutput(benchOut)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark results in input")
+		return 2
+	}
+
+	deltas := benchdiff.Compare(base, got, *tolerance)
+	if len(deltas) == 0 {
+		fmt.Fprintf(stderr, "benchdiff: no overlap between %s and the measured benchmarks\n", base.Path)
+		return 2
+	}
+	fmt.Fprintf(stdout, "benchdiff: %s vs measured (tolerance %.0f%%)\n", base.Path, *tolerance*100)
+	regressions := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			regressions++
+		}
+		fmt.Fprintln(stdout, " ", d)
+	}
+	for _, name := range benchdiff.Missing(base, got) {
+		fmt.Fprintf(stdout, "  %-45s %-10s (in baseline, not measured)\n", name, "-")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", regressions, *tolerance*100)
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchdiff: ok")
+	return 0
+}
+
+func joinArgs(args []string) string {
+	var b bytes.Buffer
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a)
+	}
+	return b.String()
+}

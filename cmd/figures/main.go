@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"jumanji/internal/harness"
 	"jumanji/internal/obs"
+	"jumanji/internal/obs/statusz"
 )
 
 func main() {
@@ -30,7 +32,14 @@ func main() {
 	)
 	var sinks obs.CLI
 	sinks.RegisterFlags(flag.CommandLine)
+	var status statusz.CLI
+	status.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	// -status implies -spans: the live endpoints are only worth serving
+	// with phase timings behind them.
+	if status.Addr != "" {
+		sinks.SpansOn = true
+	}
 	if err := sinks.Open(); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
@@ -42,6 +51,24 @@ func main() {
 	}
 	o.Parallel = *parallel
 	o.Metrics, o.Events, o.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
+	o.Spans = sinks.Spans()
+	o.Progress = status.Tracker()
+	if err := status.Start(statusz.Info{
+		Command: "figures",
+		Config: map[string]string{
+			"mixes":  strconv.Itoa(o.Mixes),
+			"epochs": strconv.Itoa(o.Epochs),
+			"warmup": strconv.Itoa(o.Warmup),
+			"seed":   strconv.FormatInt(o.Seed, 10),
+		},
+	}, o.Spans); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer status.Close()
+	if status.Addr != "" {
+		o.PublishMetrics = status.PublishMetrics
+	}
 
 	switch {
 	case *all:

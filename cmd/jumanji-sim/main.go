@@ -20,6 +20,7 @@ import (
 
 	"jumanji"
 	"jumanji/internal/obs"
+	"jumanji/internal/obs/statusz"
 )
 
 func main() {
@@ -38,7 +39,12 @@ func main() {
 	)
 	var sinks obs.CLI
 	sinks.RegisterFlags(flag.CommandLine)
+	var status statusz.CLI
+	status.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if status.Addr != "" {
+		sinks.SpansOn = true // -status implies -spans
+	}
 	if err := sinks.Open(); err != nil {
 		fatal(err)
 	}
@@ -49,6 +55,23 @@ func main() {
 	opts.HighLoad = *load != "low"
 	opts.Parallel = *par
 	opts.Metrics, opts.Events, opts.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
+	opts.Spans = sinks.Spans()
+	opts.Progress = status.Tracker()
+	if err := status.Start(statusz.Info{
+		Command: "jumanji-sim",
+		Config: map[string]string{
+			"design": *designFlag,
+			"lc":     *lc,
+			"epochs": fmt.Sprint(*epochs),
+			"seed":   fmt.Sprint(*seed),
+		},
+	}, opts.Spans); err != nil {
+		fatal(err)
+	}
+	defer status.Close()
+	if status.Addr != "" {
+		opts.PublishMetrics = status.PublishMetrics
+	}
 
 	build := workloadBuilder(*lc, *vms, *seed)
 

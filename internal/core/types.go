@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"jumanji/internal/mrc"
+	"jumanji/internal/obs"
 	"jumanji/internal/topo"
 )
 
@@ -201,4 +202,18 @@ func PlaceWith(p Placer, in *Input, pl *Placement) *Placement {
 		return sp.PlaceInto(in, pl)
 	}
 	return p.Place(in)
+}
+
+// PlaceWithSpans is PlaceWith timed under the "core.place" phase. The epoch
+// runners call it so every reconfiguration's placement cost is visible in
+// -spans and /statusz; with spans disabled (nil) the only overhead is one
+// nil check.
+func PlaceWithSpans(p Placer, in *Input, pl *Placement, spans *obs.Spans) *Placement {
+	if spans == nil {
+		return PlaceWith(p, in, pl)
+	}
+	sp := spans.Start("core.place")
+	pl = PlaceWith(p, in, pl)
+	sp.Stop()
+	return pl
 }

@@ -63,6 +63,10 @@ type Config struct {
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Trace   *obs.Trace
+	// Spans, when set, times each epoch's phases (UMON curve work,
+	// placement, VTB install, trace replay) on the wall clock; it is
+	// concurrency-safe and may be shared across drivers.
+	Spans *obs.Spans
 }
 
 // AppStats is one app's measured behaviour for an epoch.
@@ -217,12 +221,18 @@ func (d *Driver) install(pl *core.Placement) int {
 // UMON counters are halved each epoch (hardware aging), so the curves track
 // phase changes instead of averaging over the whole run.
 func (d *Driver) RunEpoch() EpochStats {
+	sp := d.cfg.Spans.Start("driver.umon")
 	for _, u := range d.umons {
 		u.Age()
 	}
 	in := d.buildInput()
+	sp.Stop()
+	sp = d.cfg.Spans.Start("driver.place")
 	pl := d.cfg.Placer.Place(in)
+	sp.Stop()
+	sp = d.cfg.Spans.Start("driver.install")
 	invalidated := d.install(pl)
+	sp.Stop()
 
 	n := len(d.cfg.Apps)
 	before := make([]cache.Stats, n)
@@ -236,6 +246,7 @@ func (d *Driver) RunEpoch() EpochStats {
 
 	// Interleave apps round-robin, proportionally to their access budgets,
 	// so bank and replacement interference between co-runners is realistic.
+	sp = d.cfg.Spans.Start("driver.replay")
 	remaining := make([]int, n)
 	total := 0
 	for i, a := range d.cfg.Apps {
@@ -259,6 +270,7 @@ func (d *Driver) RunEpoch() EpochStats {
 			total--
 		}
 	}
+	sp.Stop()
 
 	out := EpochStats{Epoch: d.epoch, Invalidated: invalidated, PerApp: make([]AppStats, n)}
 	for i, a := range d.cfg.Apps {

@@ -22,8 +22,9 @@ type Fig11Result struct {
 // Fig11 runs the LLC port attack on the event-driven simulator: the
 // attacker floods one bank while the victim sweeps all banks, producing
 // one latency peak per bank and the strongest peak at the shared bank.
-func Fig11(Options) Fig11Result {
+func Fig11(o Options) Fig11Result {
 	cfg := security.DefaultPortAttackConfig()
+	cfg.Spans = o.Spans
 	samples := security.RunPortAttack(cfg)
 	return Fig11Result{
 		Samples: samples,

@@ -19,6 +19,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math/rand"
+	"time"
 
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
@@ -51,6 +52,20 @@ type Options struct {
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Trace   *obs.Trace
+	// Spans, when set, times simulator phases (placement, epoch model,
+	// per-cell execution) on the wall clock. Unlike the sinks above it is
+	// concurrency-safe, so one Spans is shared by every cell as-is rather
+	// than going through the cell-merge protocol.
+	Spans *obs.Spans
+	// Progress, when set, is updated lock-free as cells complete, feeding
+	// the -progress reporter and the -status HTTP endpoints. It never
+	// affects results: output is byte-identical with or without it.
+	Progress *parallel.Progress
+	// PublishMetrics, when set, receives a snapshot of Metrics after each
+	// figure's cell merge — the safe point where no worker holds the
+	// registry — so a live /metrics endpoint can serve a consistent copy
+	// mid-run without racing the single-threaded sinks.
+	PublishMetrics func([]obs.MetricSnapshot)
 }
 
 // QuickOptions keeps a full figure regeneration in the seconds range.
@@ -76,6 +91,7 @@ func (o Options) validate() {
 func (o Options) systemConfig() system.Config {
 	cfg := system.DefaultConfig()
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
+	cfg.Spans = o.Spans
 	return cfg
 }
 
@@ -112,19 +128,32 @@ func loadLabel(high bool) string {
 // the cell (obs.Cell); after the pool drains, the private sinks merge into
 // o's sinks in cell-index order. Both the returned results (indexed by
 // cell) and the merged sinks are therefore identical for any worker count.
+// Live introspection rides along without touching determinism: o.Spans and
+// o.Progress are concurrency-safe and shared by all workers as-is (each
+// cell is timed under the "harness.cell" phase), and o.PublishMetrics fires
+// once after the merge, when no worker holds the registry anymore.
 func runCells[T any](o Options, n int, cell func(i int, co Options) T) []T {
+	o.Progress.Begin(n, parallel.Workers(min(o.Parallel, n)))
 	cells := make([]*obs.Cell, n)
 	out := parallel.Map(o.Parallel, n, func(i int) T {
+		t0 := time.Now()
 		cells[i] = obs.NewCell(o.Metrics, o.Events, o.Trace)
 		co := o
 		co.Parallel = 1 // cells never nest fan-out
 		co.Metrics, co.Events, co.Trace = cells[i].Metrics, cells[i].Events, cells[i].Trace
-		return cell(i, co)
+		res := cell(i, co)
+		d := time.Since(t0)
+		o.Spans.Record("harness.cell", t0, d)
+		o.Progress.CellDone(d)
+		return res
 	})
 	for _, c := range cells {
 		if err := c.MergeInto(o.Metrics, o.Events, o.Trace); err != nil {
 			panic(fmt.Sprintf("harness: merging cell sinks: %v", err))
 		}
+	}
+	if o.PublishMetrics != nil {
+		o.PublishMetrics(o.Metrics.Snapshot())
 	}
 	return out
 }

@@ -9,8 +9,8 @@ import (
 )
 
 // CLI bundles the standard observability flags shared by the commands
-// (-events, -tracefile, -metrics, -cpuprofile, -memprofile) and owns the
-// files behind them. Usage:
+// (-events, -tracefile, -metrics, -spans, -cpuprofile, -memprofile) and
+// owns the files behind them. Usage:
 //
 //	var cli obs.CLI
 //	cli.RegisterFlags(flag.CommandLine)
@@ -27,10 +27,12 @@ type CLI struct {
 	MetricsPath string
 	CPUProfile  string
 	MemProfile  string
+	SpansOn     bool
 
 	registry *Registry
 	events   *EventLog
 	trace    *Trace
+	spans    *Spans
 	files    []*os.File
 	cpuOn    bool
 }
@@ -42,6 +44,7 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.MetricsPath, "metrics", "", "dump the metric registry as text to this file after the run, or '-' for stderr")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+	fs.BoolVar(&c.SpansOn, "spans", false, "time simulator phases on the wall clock; summary to stderr at exit (implied by -status)")
 }
 
 func (c *CLI) create(path string) (*os.File, error) {
@@ -73,6 +76,14 @@ func (c *CLI) Open() error {
 	if c.MetricsPath != "" {
 		c.registry = NewRegistry()
 	}
+	if c.SpansOn {
+		c.spans = NewSpans()
+		if c.trace != nil {
+			// With both -spans and -tracefile, the phase timings land in the
+			// trace as their own "wall clock" lane at Close.
+			c.spans.EnableTrace()
+		}
+	}
 	if c.CPUProfile != "" {
 		f, err := c.create(c.CPUProfile)
 		if err != nil {
@@ -95,6 +106,9 @@ func (c *CLI) Events() *EventLog { return c.events }
 // Trace returns the trace sink (nil when -tracefile is unset).
 func (c *CLI) Trace() *Trace { return c.trace }
 
+// Spans returns the phase timers (nil when -spans is unset).
+func (c *CLI) Spans() *Spans { return c.spans }
+
 // Close finishes every sink: stops the CPU profile, writes the heap
 // profile, flushes the trace, dumps the metrics, and closes the files. It
 // returns the first error but always attempts every step.
@@ -116,6 +130,10 @@ func (c *CLI) Close() error {
 			runtime.GC() // fresh statistics for the heap profile
 			keep(pprof.WriteHeapProfile(f))
 		}
+	}
+	if c.spans != nil {
+		c.spans.WriteTrace(c.trace) // before Close; no-op when -tracefile is unset
+		keep(c.spans.WriteText(os.Stderr))
 	}
 	if c.trace != nil {
 		keep(c.trace.Close())

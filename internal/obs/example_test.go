@@ -1,0 +1,28 @@
+package obs_test
+
+import (
+	"os"
+
+	"jumanji/internal/obs"
+	"jumanji/internal/obs/prom"
+)
+
+// ExampleRegistry_prometheus renders a registry snapshot in the Prometheus
+// text exposition format — the same path the -status HTTP server's /metrics
+// endpoint uses.
+func ExampleRegistry_prometheus() {
+	reg := obs.NewRegistry()
+	reg.Counter("system.epochs").Add(30)
+	reg.Histogram("system.lat_norm", 0, 2, 2).Observe(0.8)
+
+	prom.Write(os.Stdout, reg.Snapshot())
+	// Output:
+	// # TYPE system_epochs_total counter
+	// system_epochs_total 30
+	// # TYPE system_lat_norm histogram
+	// system_lat_norm_bucket{le="1"} 1
+	// system_lat_norm_bucket{le="2"} 1
+	// system_lat_norm_bucket{le="+Inf"} 1
+	// system_lat_norm_sum 0.8
+	// system_lat_norm_count 1
+}

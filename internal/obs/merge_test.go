@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -71,17 +72,35 @@ func TestRegistryMergeNilSafety(t *testing.T) {
 	}
 }
 
+// TestRegistryMergeShapeMismatchPanics pins the documented invariant for
+// histograms with differing bucket boundaries: bin counts from different
+// shapes cannot be combined meaningfully, so Merge panics — the same
+// programming-error convention as re-registering a histogram with a new
+// shape — rather than silently misbinning. Every disagreement dimension is
+// covered: bounds (lo, hi) and bin count.
 func TestRegistryMergeShapeMismatchPanics(t *testing.T) {
-	dst := NewRegistry()
-	dst.Histogram("h", 0, 1, 4)
-	src := NewRegistry()
-	src.Histogram("h", 0, 2, 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("merging mismatched histogram shapes did not panic")
-		}
-	}()
-	dst.Merge(src)
+	for _, tc := range []struct {
+		name   string
+		lo, hi float64
+		nbins  int
+	}{
+		{"hi", 0, 2, 4},
+		{"lo", -1, 1, 4},
+		{"nbins", 0, 1, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := NewRegistry()
+			dst.Histogram("h", 0, 1, 4)
+			src := NewRegistry()
+			src.Histogram("h", tc.lo, tc.hi, tc.nbins)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("merging histograms with differing %s did not panic", tc.name)
+				}
+			}()
+			dst.Merge(src)
+		})
+	}
 }
 
 // TestRegistryMergeOrderIndependentForCountersAndHistograms: fold order
@@ -206,6 +225,54 @@ func TestTraceMerge(t *testing.T) {
 	}
 	if _, err := ValidateTraceJSON(mergedBuf.Bytes()); err != nil {
 		t.Fatalf("merged trace fails validation: %v", err)
+	}
+}
+
+// TestTraceMergeOrderingStable pins the property the parallel engine's
+// byte-identity guarantee rests on: merged output is a pure function of
+// merge order. Event order within each source is preserved, sources
+// concatenate in merge order, and lane pids depend only on how many lanes
+// were merged before — so merging the same cells in the same order twice
+// yields byte-identical traces, while a different merge order yields a
+// different (but internally consistent) lane numbering.
+func TestTraceMergeOrderingStable(t *testing.T) {
+	mkCell := func(name string) *Trace {
+		tr := NewTrace(nil)
+		pid := tr.Lane(name)
+		tr.Span(pid, 0, "a", "c", 0, 1, nil)
+		tr.Instant(pid, 0, "b", 2, nil)
+		return tr
+	}
+
+	render := func(order ...string) string {
+		var buf bytes.Buffer
+		dst := NewTrace(&buf)
+		for _, name := range order {
+			dst.Merge(mkCell(name))
+		}
+		if err := dst.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateTraceJSON(buf.Bytes()); err != nil {
+			t.Fatalf("merged trace invalid: %v", err)
+		}
+		return buf.String()
+	}
+
+	first := render("c0", "c1", "c2")
+	if second := render("c0", "c1", "c2"); second != first {
+		t.Errorf("same merge order produced different bytes:\n%s\nvs\n%s", first, second)
+	}
+	swapped := render("c1", "c0", "c2")
+	if swapped == first {
+		t.Error("merge order is not reflected in the output — pid remapping lost")
+	}
+	// The swap must only renumber lanes, never reorder events within one
+	// source: each cell's span still precedes its instant.
+	for _, out := range []string{first, swapped} {
+		if ai, bi := strings.Index(out, `"name":"a"`), strings.Index(out, `"name":"b"`); ai == -1 || bi == -1 || ai > bi {
+			t.Errorf("within-source event order not preserved:\n%s", out)
+		}
 	}
 }
 

@@ -1,19 +1,36 @@
 // Package obs is the simulator's observability layer: a typed metrics
 // registry (counters, gauges, histograms), a structured JSONL decision log
-// for epoch-level controller actions, and a Chrome trace-event exporter
-// loadable in Perfetto or chrome://tracing.
+// for epoch-level controller actions, a Chrome trace-event exporter
+// loadable in Perfetto or chrome://tracing, and wall-clock phase timers
+// (Spans).
 //
 // The whole package is nil-safe: a nil *Registry hands out nil metrics, and
-// every metric, event-log, and trace method is a no-op on a nil receiver.
-// Instrumented hot paths therefore cost one nil check per update when
-// observability is disabled — BenchmarkObsOverhead guards the bound.
+// every metric, event-log, trace, and span method is a no-op on a nil
+// receiver. Instrumented hot paths therefore cost one nil check per update
+// when observability is disabled — BenchmarkObsOverhead and
+// TestAllocGuardSpans guard the bound.
 //
-// Like the rest of the simulator, the registry is single-threaded: one run
-// owns its sinks. Runs on different goroutines must use separate sinks; the
-// parallel experiment engine gives each worker cell a private Registry,
-// EventLog, and Trace, then folds them into the user-visible ones in cell
-// order (Registry.Merge, EventLog.AppendJSONL, Trace.Merge), so the merged
-// output is identical to a serial run's.
+// Like the rest of the simulator, the deterministic sinks (Registry,
+// EventLog, Trace) are single-threaded: one run owns its sinks. Runs on
+// different goroutines must use separate sinks; the parallel experiment
+// engine gives each worker cell a private Registry, EventLog, and Trace,
+// then folds them into the user-visible ones *in cell order* — never in
+// completion order — via Registry.Merge, EventLog.AppendJSONL, and
+// Trace.Merge. Cell-order merging is what makes a parallel run's sink
+// output byte-identical to a serial run's: counter sums and histogram bins
+// commute, but gauge last-write-wins, event sequence numbers, and trace
+// lane numbering all depend on merge order, so the order is pinned.
+//
+// Spans is the one deliberate exception to both rules: it measures host
+// wall-clock time (Go's monotonic clock via time.Now/time.Since, so
+// timings are immune to wall-clock steps), which is inherently
+// nondeterministic, so it is mutex-protected, shared across workers, and
+// kept out of the deterministic sinks unless explicitly exported
+// (Spans.WriteTrace).
+//
+// The subpackages render and serve this package's snapshots: obs/prom
+// writes Prometheus text exposition format, obs/statusz serves it over
+// HTTP together with live sweep progress.
 package obs
 
 import (

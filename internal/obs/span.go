@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span-histogram shape: all phase histograms share one fixed shape so they
+// merge and render uniformly. Durations above spanHistMax clamp into the
+// last bin (Histogram's convention); Count and Sum stay exact regardless,
+// so means and rates are always accurate and only the bin resolution
+// saturates for very long phases.
+const (
+	spanHistMax  = 1.0 // seconds
+	spanHistBins = 50
+)
+
+// Spans times named simulator phases on the wall clock and aggregates the
+// durations into one fixed-shape Histogram per phase, plus (optionally) one
+// Chrome trace-event record per span for WriteTrace.
+//
+// Timings use Go's monotonic clock (time.Now/time.Since), so they are
+// immune to wall-clock adjustments — but they are still *host* time, not
+// simulated time, and therefore inherently nondeterministic. That is why
+// Spans deliberately breaks the package's single-goroutine rule: unlike the
+// deterministic sinks (Registry, EventLog, Trace), a Spans is safe for
+// concurrent use and is shared by every worker of a parallel run instead of
+// going through the cell-merge protocol. Live readers (the statusz server)
+// snapshot it mid-run.
+//
+// A nil *Spans is the disabled state: Start returns a zero Span whose Stop
+// is a no-op, so disabled phase timing costs one nil check per phase
+// (guarded by BenchmarkObsOverhead and TestAllocGuardSpans).
+type Spans struct {
+	mu     sync.Mutex
+	t0     time.Time
+	hists  map[string]*Histogram
+	order  []string
+	trace  bool
+	events []spanEvent
+}
+
+type spanEvent struct {
+	name    string
+	startUs float64
+	durUs   float64
+}
+
+// NewSpans returns an enabled, empty phase timer. The creation instant is
+// the zero point for WriteTrace timestamps.
+func NewSpans() *Spans {
+	return &Spans{t0: time.Now(), hists: make(map[string]*Histogram)}
+}
+
+// Enabled reports whether spans are recorded.
+func (s *Spans) Enabled() bool { return s != nil }
+
+// EnableTrace additionally records every completed span as a Chrome trace
+// complete event for WriteTrace (one slice append per span; without it a
+// Spans holds only the bounded per-phase histograms).
+func (s *Spans) EnableTrace() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.trace = true
+	s.mu.Unlock()
+}
+
+// Span is one in-flight phase timing handed out by Start. The zero Span
+// (from a nil *Spans) is valid and Stop on it is a no-op.
+type Span struct {
+	spans *Spans
+	name  string
+	start time.Time
+}
+
+// Start begins timing the named phase. Phase names are hierarchical
+// dot-separated identifiers ("system.epoch_model", "core.place"); the
+// aggregated histogram is published as "span.<name>.seconds".
+func (s *Spans) Start(name string) Span {
+	if s == nil {
+		return Span{}
+	}
+	return Span{spans: s, name: name, start: time.Now()}
+}
+
+// Stop ends the span, records its duration, and returns it. Stop on the
+// zero Span returns 0.
+func (sp Span) Stop() time.Duration {
+	if sp.spans == nil {
+		return 0
+	}
+	d := time.Since(sp.start)
+	sp.spans.observe(sp.name, sp.start, d)
+	return d
+}
+
+// Record observes an externally-timed phase: a duration d that began at
+// start. Callers that already measure a duration for another consumer (the
+// harness times each cell once for both Progress and Spans) use it instead
+// of Start/Stop to avoid reading the clock twice.
+func (s *Spans) Record(name string, start time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.observe(name, start, d)
+}
+
+func (s *Spans) observe(name string, start time.Time, d time.Duration) {
+	s.mu.Lock()
+	h := s.hists[name]
+	if h == nil {
+		h = &Histogram{
+			name: "span." + name + ".seconds",
+			lo:   0, hi: spanHistMax,
+			bins: make([]uint64, spanHistBins),
+		}
+		s.hists[name] = h
+		s.order = append(s.order, name)
+	}
+	h.Observe(d.Seconds())
+	if s.trace {
+		s.events = append(s.events, spanEvent{
+			name:    name,
+			startUs: float64(start.Sub(s.t0)) / float64(time.Microsecond),
+			durUs:   float64(d) / float64(time.Microsecond),
+		})
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns every phase histogram as a MetricSnapshot named
+// "span.<phase>.seconds", sorted by name — the same shape Registry.Snapshot
+// produces, so span timings render through the same text and Prometheus
+// writers. A nil Spans snapshots to nil.
+func (s *Spans) Snapshot() []MetricSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, len(s.order))
+	copy(names, s.order)
+	sort.Strings(names)
+	out := make([]MetricSnapshot, 0, len(names))
+	for _, name := range names {
+		h := s.hists[name]
+		out = append(out, MetricSnapshot{
+			Name: h.name, Kind: KindHistogram,
+			Value: h.Mean(), Count: h.count, Sum: h.sum,
+			Lo: h.lo, Hi: h.hi, Bins: h.Bins(),
+		})
+	}
+	return out
+}
+
+// WriteText dumps one summary line per phase, sorted by name — the end-of-
+// run report the CLIs print to stderr under -spans. A nil Spans writes
+// nothing.
+func (s *Spans) WriteText(w io.Writer) error {
+	for _, snap := range s.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s histogram count=%d sum=%g mean=%g\n",
+			snap.Name, snap.Count, snap.Sum, snap.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTrace appends the recorded spans (EnableTrace must have been on) to
+// tr as one "wall clock" lane with one thread per phase name. Unlike the
+// simulator's own lanes, whose timestamps are simulated time, this lane's
+// timestamps are real microseconds since NewSpans — the two time bases
+// share a trace file but not a clock, which Perfetto renders fine as
+// separate process tracks. No-op on a nil Spans or nil tr.
+func (s *Spans) WriteTrace(tr *Trace) {
+	if s == nil || tr == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) == 0 {
+		return
+	}
+	lane := tr.Lane("wall clock")
+	tids := make(map[string]int, len(s.order))
+	names := make([]string, len(s.order))
+	copy(names, s.order)
+	sort.Strings(names)
+	for i, name := range names {
+		tids[name] = i
+		tr.ThreadName(lane, i, name)
+	}
+	for _, e := range s.events {
+		tr.Span(lane, tids[e.name], e.name, "span", e.startUs, e.durUs, nil)
+	}
+}

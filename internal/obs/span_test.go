@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpansRoundTrip(t *testing.T) {
+	s := NewSpans()
+	if !s.Enabled() {
+		t.Fatal("NewSpans not enabled")
+	}
+	s.Start("core.place").Stop()
+	s.Start("core.place").Stop()
+	s.Start("sim.run").Stop()
+
+	snaps := s.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	// Sorted by full metric name.
+	if snaps[0].Name != "span.core.place.seconds" || snaps[1].Name != "span.sim.run.seconds" {
+		t.Fatalf("snapshot names = %q, %q", snaps[0].Name, snaps[1].Name)
+	}
+	if snaps[0].Kind != KindHistogram {
+		t.Fatalf("kind = %v, want histogram", snaps[0].Kind)
+	}
+	if snaps[0].Count != 2 || snaps[1].Count != 1 {
+		t.Fatalf("counts = %d, %d; want 2, 1", snaps[0].Count, snaps[1].Count)
+	}
+	var total uint64
+	for _, b := range snaps[0].Bins {
+		total += b
+	}
+	if total != snaps[0].Count {
+		t.Fatalf("bin sum %d != count %d", total, snaps[0].Count)
+	}
+	if snaps[0].Sum < 0 {
+		t.Fatalf("negative duration sum %g", snaps[0].Sum)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "span.core.place.seconds histogram count=2") {
+		t.Fatalf("WriteText output missing summary line:\n%s", out)
+	}
+}
+
+func TestSpanStopReturnsDuration(t *testing.T) {
+	s := NewSpans()
+	sp := s.Start("x")
+	time.Sleep(time.Millisecond)
+	if d := sp.Stop(); d < time.Millisecond {
+		t.Fatalf("Stop returned %v, want >= 1ms", d)
+	}
+}
+
+func TestSpansNilSafe(t *testing.T) {
+	var s *Spans
+	if s.Enabled() {
+		t.Fatal("nil Spans reports enabled")
+	}
+	s.EnableTrace()
+	sp := s.Start("anything")
+	if d := sp.Stop(); d != 0 {
+		t.Fatalf("nil-span Stop returned %v, want 0", d)
+	}
+	if snaps := s.Snapshot(); snaps != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", snaps)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteText wrote %q, err %v", buf.String(), err)
+	}
+	s.WriteTrace(NewTrace(&buf)) // must not panic
+	var zero Span
+	zero.Stop() // zero Span must be a no-op too
+}
+
+func TestSpansConcurrent(t *testing.T) {
+	s := NewSpans()
+	s.EnableTrace()
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := []string{"a", "b", "c"}[g%3]
+			for i := 0; i < perG; i++ {
+				s.Start(name).Stop()
+				if i%50 == 0 {
+					s.Snapshot() // live reader racing the writers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, snap := range s.Snapshot() {
+		total += snap.Count
+	}
+	if total != goroutines*perG {
+		t.Fatalf("total observations = %d, want %d", total, goroutines*perG)
+	}
+}
+
+func TestSpansWriteTrace(t *testing.T) {
+	s := NewSpans()
+	s.EnableTrace()
+	s.Start("b.phase").Stop()
+	s.Start("a.phase").Stop()
+	s.Start("b.phase").Stop()
+
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	lane := tr.Lane("sim") // spans must land in their own lane, not this one
+	tr.Span(lane, 0, "epoch", "epoch", 0, 1, nil)
+	s.WriteTrace(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTraceJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	// 1 process_name + 1 sim span, then spans: 1 process_name + 2 thread_name + 3 spans.
+	if n != 8 {
+		t.Fatalf("got %d trace events, want 8", n)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"wall clock"`)) {
+		t.Fatalf("trace missing wall clock lane:\n%s", buf.String())
+	}
+}
+
+func TestSpansWriteTraceWithoutEnableIsEmpty(t *testing.T) {
+	s := NewSpans()
+	s.Start("x").Stop()
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.Lane("sim")
+	s.WriteTrace(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTraceJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("trace-disabled spans emitted %d extra events, want none", n-1)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"wall clock"`)) {
+		t.Fatal("trace-disabled spans still created a wall clock lane")
+	}
+}
+
+// TestAllocGuardSpans pins the span hot path at zero allocations per
+// Start/Stop pair, both disabled (nil receiver — the cost every
+// uninstrumented run pays) and enabled without trace recording (the
+// steady-state cost under -spans once the histogram exists). Run by the CI
+// allocation-guard step alongside the other AllocGuard tests.
+func TestAllocGuardSpans(t *testing.T) {
+	var nilSpans *Spans
+	if avg := testing.AllocsPerRun(200, func() {
+		nilSpans.Start("core.place").Stop()
+	}); avg != 0 {
+		t.Errorf("disabled span Start/Stop allocates %.1f/op, want 0", avg)
+	}
+
+	s := NewSpans()
+	s.Start("core.place").Stop() // warm: create the histogram outside the measured loop
+	if avg := testing.AllocsPerRun(200, func() {
+		s.Start("core.place").Stop()
+	}); avg != 0 {
+		t.Errorf("enabled span Start/Stop allocates %.1f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,185 @@
+package statusz
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"jumanji/internal/obs"
+	"jumanji/internal/parallel"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func startTestServer(t *testing.T, progress *parallel.Progress, spans *obs.Spans) *Server {
+	t.Helper()
+	srv, err := Start("127.0.0.1:0", Info{
+		Command: "figures-test",
+		Config:  map[string]string{"mixes": "2", "epochs": "30"},
+	}, progress, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	var prog parallel.Progress
+	prog.Begin(8, 2)
+	prog.CellDone(5 * time.Millisecond)
+	prog.CellDone(5 * time.Millisecond)
+	spans := obs.NewSpans()
+	spans.Start("core.place").Stop()
+
+	srv := startTestServer(t, &prog, spans)
+	code, ctype, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE run_cells_done_total counter\n",
+		"run_cells_done_total 2\n",
+		"# TYPE run_cells_total gauge\n",
+		"run_cells_total 8\n",
+		"# TYPE run_eta_seconds gauge\n",
+		"# TYPE run_worker_utilization gauge\n",
+		"# TYPE span_core_place_seconds histogram\n",
+		"span_core_place_seconds_count 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsIncludesPublished(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	reg := obs.NewRegistry()
+	reg.Counter("system.epochs").Add(60)
+	srv.PublishMetrics(reg.Snapshot())
+
+	_, _, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if !strings.Contains(body, "system_epochs_total 60\n") {
+		t.Errorf("/metrics missing published registry metric:\n%s", body)
+	}
+	// Progress section must render even with a nil tracker.
+	if !strings.Contains(body, "run_cells_done_total 0\n") {
+		t.Errorf("/metrics missing zero progress section:\n%s", body)
+	}
+}
+
+func TestStatuszEndpoint(t *testing.T) {
+	var prog parallel.Progress
+	prog.Begin(10, 4)
+	for i := 0; i < 4; i++ {
+		prog.CellDone(2 * time.Millisecond)
+	}
+	spans := obs.NewSpans()
+	spans.Start("harness.cell").Stop()
+
+	srv := startTestServer(t, &prog, spans)
+	code, ctype, body := get(t, "http://"+srv.Addr()+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/statusz content type %q", ctype)
+	}
+	var got statuszBody
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/statusz not valid JSON: %v\n%s", err, body)
+	}
+	if got.Info.Command != "figures-test" || got.Info.Config["mixes"] != "2" {
+		t.Errorf("info = %+v", got.Info)
+	}
+	if got.Cells.Done != 4 || got.Cells.Total != 10 {
+		t.Errorf("cells = %+v", got.Cells)
+	}
+	if got.Workers != 4 {
+		t.Errorf("workers = %d", got.Workers)
+	}
+	// The acceptance bar: a finite, positive ETA mid-run.
+	if got.ETASeconds <= 0 || got.ETASeconds > 1e9 {
+		t.Errorf("eta_seconds = %v, want finite positive", got.ETASeconds)
+	}
+	if got.WorkerUtilization < 0 || got.WorkerUtilization > 1 {
+		t.Errorf("worker_utilization = %v", got.WorkerUtilization)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Name != "span.harness.cell.seconds" || got.Spans[0].Count != 1 {
+		t.Errorf("spans = %+v", got.Spans)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	code, _, body := get(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %q", code, body[:min(len(body), 200)])
+	}
+}
+
+func TestNilServerSafe(t *testing.T) {
+	var srv *Server
+	srv.PublishMetrics(nil)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIDisabled(t *testing.T) {
+	var c CLI
+	if c.Enabled() {
+		t.Fatal("zero CLI reports enabled")
+	}
+	if c.Tracker() != nil {
+		t.Fatal("disabled CLI hands out a tracker")
+	}
+	if err := c.Start(Info{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishMetrics(nil) // must not panic with no server
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIServer(t *testing.T) {
+	c := CLI{Addr: "127.0.0.1:0"}
+	if !c.Enabled() || c.Tracker() == nil {
+		t.Fatal("CLI with -status not enabled")
+	}
+	if err := c.Start(Info{Command: "t"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Tracker().Begin(4, 1)
+	c.Tracker().CellDone(time.Millisecond)
+
+	reg := obs.NewRegistry()
+	reg.Counter("x").Inc()
+	c.PublishMetrics(reg.Snapshot())
+
+	_, _, body := get(t, "http://"+c.server.Addr()+"/metrics")
+	if !strings.Contains(body, "run_cells_done_total 1\n") || !strings.Contains(body, "x_total 1\n") {
+		t.Errorf("/metrics via CLI missing content:\n%s", body)
+	}
+}

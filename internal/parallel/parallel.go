@@ -34,10 +34,11 @@ func Workers(n int) int {
 // serial path, with no goroutines involved. Jobs are handed out by an atomic
 // counter, so long and short jobs share the pool without static chunking.
 //
-// A panic inside a job is captured and re-raised on the calling goroutine
-// after the pool drains, wrapped with the job index; the simulator's
-// convention is that invalid configuration panics, and that must hold under
-// fan-out too.
+// A panic inside a job is re-raised on the calling goroutine wrapped with
+// the failing job's index — on the serial path immediately, on the pooled
+// path after the pool drains. The simulator's convention is that invalid
+// configuration panics, and a sweep of hundreds of cells is undebuggable
+// unless the panic names which cell blew up.
 func Map[T any](workers, n int, job func(int) T) []T {
 	if n <= 0 {
 		return nil
@@ -49,7 +50,7 @@ func Map[T any](workers, n int, job func(int) T) []T {
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			out[i] = job(i)
+			runJob(out, i, job)
 		}
 		return out
 	}
@@ -72,13 +73,12 @@ func Map[T any](workers, n int, job func(int) T) []T {
 				}
 				func() {
 					defer func() {
+						// runJob already wrapped the panic with the job index.
 						if r := recover(); r != nil {
-							panicOnce.Do(func() {
-								panicked = fmt.Errorf("parallel: job %d panicked: %v", i, r)
-							})
+							panicOnce.Do(func() { panicked = r })
 						}
 					}()
-					out[i] = job(i)
+					runJob(out, i, job)
 				}()
 			}
 		}()
@@ -88,4 +88,16 @@ func Map[T any](workers, n int, job func(int) T) []T {
 		panic(panicked)
 	}
 	return out
+}
+
+// runJob executes one job, converting any panic into one that carries the
+// job index. Both the serial and the pooled path go through it, so the
+// failing cell is identifiable either way.
+func runJob[T any](out []T, i int, job func(int) T) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(fmt.Errorf("parallel: job %d panicked: %v", i, r))
+		}
+	}()
+	out[i] = job(i)
 }

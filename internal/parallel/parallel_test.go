@@ -73,6 +73,31 @@ func TestMapPanicPropagates(t *testing.T) {
 	})
 }
 
+func TestMapPanicCarriesJobIndex(t *testing.T) {
+	// Both execution paths must name the failing cell: a sweep of hundreds
+	// of cells is undebuggable from a bare payload.
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				msg := nonNilString(r)
+				if !strings.Contains(msg, "job 23") || !strings.Contains(msg, "boom") {
+					t.Fatalf("workers=%d: panic message %q missing job index or payload", workers, msg)
+				}
+			}()
+			Map(workers, 50, func(i int) int {
+				if i == 23 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
 func nonNilString(v any) string {
 	if err, ok := v.(error); ok {
 		return err.Error()

@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a lock-free sweep progress tracker: workers record each
+// completed cell with one atomic add pair, and any goroutine — the -status
+// HTTP server, the -progress stderr reporter — can Snapshot it at any time
+// without perturbing the pool. It never touches results or ordering, so a
+// tracked run's output stays byte-identical to an untracked one.
+//
+// A nil *Progress is the disabled state: all methods no-op, matching the
+// obs sinks' convention.
+type Progress struct {
+	total   atomic.Int64
+	done    atomic.Int64
+	busy    atomic.Int64 // cumulative per-cell wall time, nanoseconds
+	workers atomic.Int64
+	start   atomic.Int64 // UnixNano of the last Begin
+}
+
+// Begin (re)arms the tracker for a run of total cells on `workers` workers.
+// It resets done and busy, so a process running several sweeps back to back
+// reports each one from zero.
+func (p *Progress) Begin(total, workers int) {
+	if p == nil {
+		return
+	}
+	p.total.Store(int64(total))
+	p.workers.Store(int64(workers))
+	p.done.Store(0)
+	p.busy.Store(0)
+	p.start.Store(time.Now().UnixNano())
+}
+
+// CellDone records one finished cell that took d of wall time.
+func (p *Progress) CellDone(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.busy.Add(int64(d))
+	p.done.Add(1)
+}
+
+// ProgressSnapshot is one consistent-enough view of a running sweep. Fields
+// derived from the clock (Elapsed, CellsPerSec, Utilization, ETA) are
+// estimates; Done/Total are exact counts at snapshot time.
+type ProgressSnapshot struct {
+	Done    int           // cells finished
+	Total   int           // cells in the run (0 before Begin)
+	Workers int           // pool size
+	Elapsed time.Duration // wall time since Begin
+	Busy    time.Duration // summed per-cell wall time across workers
+
+	// CellsPerSec is the observed completion throughput (0 until a cell
+	// finishes).
+	CellsPerSec float64
+	// Utilization is Busy / (Elapsed × Workers): the fraction of the pool's
+	// wall-time capacity spent inside cells. Clamped to [0, 1].
+	Utilization float64
+	// ETA extrapolates the remaining cells at the observed throughput. It is
+	// always finite: zero until the first cell completes (no throughput to
+	// extrapolate from) and zero once the run is done.
+	ETA time.Duration
+}
+
+// Snapshot returns the current progress. A nil or never-Begun Progress
+// returns the zero snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	start := p.start.Load()
+	if start == 0 {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Done:    int(p.done.Load()),
+		Total:   int(p.total.Load()),
+		Workers: int(p.workers.Load()),
+		Busy:    time.Duration(p.busy.Load()),
+		Elapsed: time.Duration(time.Now().UnixNano() - start),
+	}
+	if s.Elapsed > 0 {
+		s.CellsPerSec = float64(s.Done) / s.Elapsed.Seconds()
+		if capacity := s.Elapsed.Seconds() * float64(s.Workers); capacity > 0 {
+			s.Utilization = s.Busy.Seconds() / capacity
+			if s.Utilization > 1 {
+				s.Utilization = 1
+			}
+		}
+	}
+	if remaining := s.Total - s.Done; remaining > 0 && s.CellsPerSec > 0 {
+		s.ETA = time.Duration(float64(remaining) / s.CellsPerSec * float64(time.Second))
+	}
+	return s
+}

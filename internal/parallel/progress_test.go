@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Begin(10, 4)
+	p.CellDone(time.Second)
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+}
+
+func TestProgressZeroBeforeBegin(t *testing.T) {
+	var p Progress
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("pre-Begin snapshot = %+v, want zero", s)
+	}
+}
+
+func TestProgressCounts(t *testing.T) {
+	var p Progress
+	p.Begin(8, 2)
+	for i := 0; i < 3; i++ {
+		p.CellDone(10 * time.Millisecond)
+	}
+	s := p.Snapshot()
+	if s.Done != 3 || s.Total != 8 || s.Workers != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Busy != 30*time.Millisecond {
+		t.Fatalf("busy = %v, want 30ms", s.Busy)
+	}
+	if s.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v", s.Elapsed)
+	}
+	if s.CellsPerSec <= 0 {
+		t.Fatalf("throughput = %v", s.CellsPerSec)
+	}
+	// ETA must be finite and positive with 5 cells remaining.
+	if s.ETA <= 0 {
+		t.Fatalf("ETA = %v, want > 0", s.ETA)
+	}
+	if math.IsInf(float64(s.ETA), 0) || math.IsNaN(s.Utilization) {
+		t.Fatalf("non-finite derived fields: %+v", s)
+	}
+	if s.Utilization < 0 || s.Utilization > 1 {
+		t.Fatalf("utilization = %v, want [0,1]", s.Utilization)
+	}
+}
+
+func TestProgressETAFiniteBeforeFirstCell(t *testing.T) {
+	var p Progress
+	p.Begin(100, 4)
+	s := p.Snapshot()
+	if s.ETA != 0 {
+		t.Fatalf("ETA with no completed cells = %v, want 0", s.ETA)
+	}
+	if s.CellsPerSec != 0 {
+		t.Fatalf("throughput with no completed cells = %v", s.CellsPerSec)
+	}
+}
+
+func TestProgressDoneRun(t *testing.T) {
+	var p Progress
+	p.Begin(2, 1)
+	p.CellDone(time.Millisecond)
+	p.CellDone(time.Millisecond)
+	if s := p.Snapshot(); s.ETA != 0 {
+		t.Fatalf("ETA after completion = %v, want 0", s.ETA)
+	}
+}
+
+func TestProgressBeginResets(t *testing.T) {
+	var p Progress
+	p.Begin(4, 1)
+	p.CellDone(time.Second)
+	p.Begin(6, 3)
+	s := p.Snapshot()
+	if s.Done != 0 || s.Busy != 0 || s.Total != 6 || s.Workers != 3 {
+		t.Fatalf("snapshot after re-Begin = %+v", s)
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	var p Progress
+	const workers, cells = 8, 400
+	p.Begin(cells, workers)
+	done := make(chan struct{})
+	go func() { // reader racing the writers
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s := p.Snapshot()
+				if s.Done < 0 || s.Done > cells {
+					panic("torn snapshot")
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cells/workers; i++ {
+				p.CellDone(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	if s := p.Snapshot(); s.Done != cells {
+		t.Fatalf("done = %d, want %d", s.Done, cells)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"jumanji/internal/bank"
 	"jumanji/internal/cache"
+	"jumanji/internal/obs"
 	"jumanji/internal/sim"
 	"jumanji/internal/topo"
 )
@@ -37,6 +38,9 @@ type PortAttackConfig struct {
 	// "without victim" baseline).
 	VictimActive bool
 	BankPorts    int
+	// Spans, when set, times the NoC/bank event simulation ("sim.run") on
+	// the wall clock via the engine's phase timers.
+	Spans *obs.Spans
 }
 
 // DefaultPortAttackConfig mirrors the paper's setup on the Table II mesh.
@@ -74,6 +78,7 @@ func RunPortAttack(cfg PortAttackConfig) []PortAttackSample {
 		panic(fmt.Sprintf("security: invalid port attack config %+v", cfg))
 	}
 	var eng sim.Engine
+	eng.SetSpans(cfg.Spans)
 	llcCfg := cache.DefaultTimedConfig(cfg.Mesh)
 	if cfg.BankPorts > 0 {
 		llcCfg.BankPorts = cfg.BankPorts

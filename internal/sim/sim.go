@@ -5,6 +5,8 @@
 // internal/system instead, which needs no event queue.
 package sim
 
+import "jumanji/internal/obs"
+
 // Time is simulation time in cycles.
 type Time uint64
 
@@ -73,10 +75,17 @@ type Engine struct {
 	now    Time
 	nextID uint64
 	queue  eventQueue
+	spans  *obs.Spans
 }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetSpans attaches wall-clock phase timers: each Run/RunAll drain is
+// recorded under the "sim.run" phase. A nil spans (the default) keeps the
+// engine timer-free; event dispatch itself is never instrumented, so the
+// per-event hot path is identical either way.
+func (e *Engine) SetSpans(s *obs.Spans) { e.spans = s }
 
 // Schedule runs fn after delay cycles (delay 0 means later in the current
 // cycle, after already-queued events for this cycle).
@@ -112,6 +121,10 @@ func (e *Engine) Step() bool {
 // Events scheduled at exactly `until` still run. It returns the number of
 // events executed.
 func (e *Engine) Run(until Time) int {
+	var sp obs.Span
+	if e.spans != nil {
+		sp = e.spans.Start("sim.run")
+	}
 	executed := 0
 	for len(e.queue) > 0 && e.queue[0].at <= until {
 		e.Step()
@@ -120,6 +133,7 @@ func (e *Engine) Run(until Time) int {
 	if e.now < until && len(e.queue) == 0 {
 		e.now = until
 	}
+	sp.Stop()
 	return executed
 }
 
@@ -128,9 +142,14 @@ func (e *Engine) Run(until Time) int {
 // event makes this loop forever, so periodic processes should be driven
 // with Run(until) instead.
 func (e *Engine) RunAll() int {
+	var sp obs.Span
+	if e.spans != nil {
+		sp = e.spans.Start("sim.run")
+	}
 	executed := 0
 	for e.Step() {
 		executed++
 	}
+	sp.Stop()
 	return executed
 }

@@ -103,6 +103,12 @@ type Config struct {
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Trace   *obs.Trace
+
+	// Spans, when set, times the run's major phases (epoch model step,
+	// placement) on the wall clock. Unlike the three sinks above it is
+	// concurrency-safe and deliberately shared across parallel cells — see
+	// the obs package docs — so the harness passes one Spans to every run.
+	Spans *obs.Spans
 }
 
 // DefaultConfig returns the paper's evaluation configuration.

@@ -7,6 +7,7 @@ import (
 	"jumanji/internal/core"
 	"jumanji/internal/energy"
 	"jumanji/internal/feedback"
+	"jumanji/internal/obs"
 	"jumanji/internal/stats"
 	"jumanji/internal/tailbench"
 	"jumanji/internal/workload"
@@ -150,9 +151,15 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			// Rotate placement buffers: the placement from two
 			// reconfigurations ago is dead and becomes this epoch's scratch
 			// (the immediately previous one must survive for MovedFraction).
-			prevPl, pl, spare = pl, core.PlaceWith(placer, in, spare), prevPl
+			prevPl, pl, spare = pl, core.PlaceWithSpans(placer, in, spare, cfg.Spans), prevPl
 			prevForModel = prevPl
 			reconfigured = true
+		}
+		// The span covers the whole per-epoch model step: performance and
+		// vulnerability evaluation for every app under the epoch's placement.
+		var modelSp obs.Span
+		if cfg.Spans != nil {
+			modelSp = cfg.Spans.Start("system.epoch_model")
 		}
 		model.reset(in, pl, prevForModel, apps)
 		vulnerabilityByApp(in, pl, vuln)
@@ -229,6 +236,7 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			epochVulnW += accesses
 			epochVulnAcc += accesses * vuln[i]
 		}
+		modelSp.Stop()
 		if epochVulnW > 0 {
 			sample.Vulnerability = epochVulnAcc / epochVulnW
 		}

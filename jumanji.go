@@ -25,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"time"
 
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
@@ -160,6 +161,18 @@ type Options struct {
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Trace   *obs.Trace
+	// Spans, when set, times simulator phases (placement, epoch model,
+	// per-run cells) on the wall clock. Unlike the sinks above it is
+	// concurrency-safe; one Spans is shared across parallel runs.
+	Spans *obs.Spans
+	// Progress, when set, is updated lock-free as parallel cells complete;
+	// live readers (e.g. the -status HTTP server) snapshot it for
+	// done/total counts, throughput, and an ETA. It never affects results.
+	Progress *parallel.Progress
+	// PublishMetrics, when set, receives a snapshot of Metrics after each
+	// fan-out's merge, the point where no worker holds the registry — how a
+	// live /metrics endpoint observes the single-threaded sinks safely.
+	PublishMetrics func([]obs.MetricSnapshot)
 }
 
 // DefaultOptions returns the paper's configuration with a run length that
@@ -202,6 +215,7 @@ func (o Options) systemConfig() system.Config {
 	cfg.NoC.RouterDelay = sim.Time(o.RouterDelay)
 	cfg.Seed = o.Seed
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
+	cfg.Spans = o.Spans
 	return cfg
 }
 
@@ -453,8 +467,10 @@ func Compare(opts Options, build func(Options) (Workload, error), designs ...Des
 		staticAt = len(jobs)
 		jobs = append(jobs, Static)
 	}
+	opts.Progress.Begin(len(jobs), parallel.Workers(min(opts.Parallel, len(jobs))))
 	cells := make([]*obs.Cell, len(jobs))
 	all := parallel.Map(opts.Parallel, len(jobs), func(i int) *Result {
+		t0 := time.Now()
 		cells[i] = obs.NewCell(opts.Metrics, opts.Events, opts.Trace)
 		co := opts
 		co.Parallel = 1
@@ -463,12 +479,18 @@ func Compare(opts Options, build func(Options) (Workload, error), designs ...Des
 		if err != nil {
 			panic(err) // runInner cannot fail on an already-validated config
 		}
+		d := time.Since(t0)
+		opts.Spans.Record("harness.cell", t0, d)
+		opts.Progress.CellDone(d)
 		return r
 	})
 	for _, c := range cells {
 		if err := c.MergeInto(opts.Metrics, opts.Events, opts.Trace); err != nil {
 			return nil, err
 		}
+	}
+	if opts.PublishMetrics != nil {
+		opts.PublishMetrics(opts.Metrics.Snapshot())
 	}
 	static := all[staticAt]
 	results := all[:len(designs):len(designs)]
