@@ -91,7 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	deltas := benchdiff.Compare(base, got, *tolerance)
-	if len(deltas) == 0 {
+	extra := benchdiff.Extra(base, got)
+	if len(deltas) == 0 && len(extra) == 0 {
 		fmt.Fprintf(stderr, "benchdiff: no overlap between %s and the measured benchmarks\n", base.Path)
 		return 2
 	}
@@ -105,6 +106,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, name := range benchdiff.Missing(base, got) {
 		fmt.Fprintf(stdout, "  %-45s %-10s (in baseline, not measured)\n", name, "-")
+	}
+	// New benchmarks are reported, not gated: a measurement with no base
+	// entry has nothing to regress against until its baseline is recorded.
+	for _, name := range extra {
+		fmt.Fprintf(stdout, "  %-45s %-10s (missing in baseline)\n", name, "-")
 	}
 	if regressions > 0 {
 		fmt.Fprintf(stdout, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", regressions, *tolerance*100)

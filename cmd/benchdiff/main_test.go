@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFiles drops a baseline and a pre-recorded bench-output file into a
+// temp dir and returns their paths.
+func writeFiles(t *testing.T, baseline, benchOut string) (basePath, inputPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath = filepath.Join(dir, "bench.json")
+	inputPath = filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(basePath, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inputPath, []byte(benchOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return basePath, inputPath
+}
+
+const baseline = `{"results": {"BenchmarkKnown": {"ns_per_op": 1000, "allocs_per_op": 0}}}`
+
+func TestRunReportsNewBenchmarkInsteadOfFailing(t *testing.T) {
+	base, input := writeFiles(t, baseline,
+		"BenchmarkKnown-4 10 990 ns/op 0 B/op 0 allocs/op\n"+
+			"BenchmarkBrandNew-4 10 5 ns/op 0 B/op 0 allocs/op\n")
+	var stdout, stderr strings.Builder
+	rc := run([]string{"-baseline", base, "-input", input}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0; stderr: %s", rc, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkBrandNew") ||
+		!strings.Contains(stdout.String(), "(missing in baseline)") {
+		t.Errorf("new benchmark not reported:\n%s", stdout.String())
+	}
+}
+
+func TestRunOnlyNewBenchmarksStillPasses(t *testing.T) {
+	base, input := writeFiles(t, baseline,
+		"BenchmarkBrandNew-4 10 5 ns/op 0 B/op 0 allocs/op\n")
+	var stdout, stderr strings.Builder
+	rc := run([]string{"-baseline", base, "-input", input}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0 when only unbaselined benchmarks ran; stderr: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "(missing in baseline)") || !strings.Contains(out, "(in baseline, not measured)") {
+		t.Errorf("report should list both sides of the mismatch:\n%s", out)
+	}
+}
+
+func TestRunEmptyInputFails(t *testing.T) {
+	base, input := writeFiles(t, baseline, "PASS\nok pkg 0.1s\n")
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-baseline", base, "-input", input}, &stdout, &stderr); rc != 2 {
+		t.Fatalf("rc = %d, want 2 for input with no benchmark lines", rc)
+	}
+}
+
+func TestRunRegressionStillFails(t *testing.T) {
+	base, input := writeFiles(t, baseline,
+		"BenchmarkKnown-4 10 990 ns/op 16 B/op 1 allocs/op\n"+
+			"BenchmarkBrandNew-4 10 5 ns/op 0 B/op 0 allocs/op\n")
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-baseline", base, "-input", input}, &stdout, &stderr); rc != 1 {
+		t.Fatalf("rc = %d, want 1: the 0->1 allocs/op regression must still gate", rc)
+	}
+}

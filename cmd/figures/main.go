@@ -8,6 +8,11 @@
 //	figures -fig 8 -paper      # Fig. 8 at the paper's scale
 //	figures -table 1
 //	figures -all
+//	figures -all -journal run.journal -keep-going   # crash-safe sweep
+//	figures -all -resume run.journal                # pick up where it died
+//
+// Exit status: 0 on success, 1 when any cell failed, was skipped, or an
+// interrupt drained the run, 2 on usage errors.
 package main
 
 import (
@@ -19,9 +24,12 @@ import (
 	"jumanji/internal/harness"
 	"jumanji/internal/obs"
 	"jumanji/internal/obs/statusz"
+	"jumanji/internal/sweep"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		fig      = flag.Int("fig", 0, "figure number to regenerate (4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18)")
 		table    = flag.Int("table", 0, "table number to regenerate (1, 2, 3)")
@@ -29,11 +37,14 @@ func main() {
 		paper    = flag.Bool("paper", false, "use the paper's protocol scale (40 mixes; slow)")
 		toCSV    = flag.Bool("csv", false, "emit the figure's series as CSV (figures 4, 8, 12, 17, 18)")
 		parallel = flag.Int("parallel", 0, "worker count for fanning mixes/designs/sweep points across cores (0 = one per CPU, 1 = serial; output is identical either way)")
+		seed     = flag.Int64("seed", 1, "base seed for workload and arrival randomness")
 	)
 	var sinks obs.CLI
 	sinks.RegisterFlags(flag.CommandLine)
 	var status statusz.CLI
 	status.RegisterFlags(flag.CommandLine)
+	var resil sweep.CLI
+	resil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	// -status implies -spans: the live endpoints are only worth serving
 	// with phase timings behind them.
@@ -42,17 +53,43 @@ func main() {
 	}
 	if err := sinks.Open(); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	o := harness.QuickOptions()
 	if *paper {
 		o = harness.PaperOptions()
 	}
+	o.Seed = *seed
 	o.Parallel = *parallel
 	o.Metrics, o.Events, o.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
 	o.Spans = sinks.Spans()
 	o.Progress = status.Tracker()
+
+	// The journal fingerprint covers everything that shapes a cell's
+	// identity or its journalled sink state, so a resume against a journal
+	// written under a different protocol or sink set is refused.
+	fingerprint := fmt.Sprintf("figures|mixes=%d|epochs=%d|warmup=%d|seed=%d|metrics=%t|events=%t|trace=%t",
+		o.Mixes, o.Epochs, o.Warmup, o.Seed,
+		o.Metrics != nil, o.Events != nil, o.Trace != nil)
+	var curArgs string // the -fig/-table flags of the sweep now running
+	repro := func(label string, cell int) string {
+		scale := ""
+		if *paper {
+			scale = " -paper"
+		}
+		return fmt.Sprintf("figures%s%s -seed %d -cell '%s:%d'", curArgs, scale, o.Seed, label, cell)
+	}
+	engine, inj, err := resil.Build(o.Seed, fingerprint, repro)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 2
+	}
+	o.Engine, o.Chaos, o.CheckInvariants = engine, inj, resil.Check
+	if engine != nil {
+		defer sweep.HandleInterrupt(engine.Stop, os.Stderr)()
+	}
+
 	if err := status.Start(statusz.Info{
 		Command: "figures",
 		Config: map[string]string{
@@ -63,41 +100,97 @@ func main() {
 		},
 	}, o.Spans); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer status.Close()
 	if status.Addr != "" {
 		o.PublishMetrics = status.PublishMetrics
 	}
 
+	// render runs one figure or table, absorbing the sweep engine's
+	// control-flow panics: a degraded sweep (reported once, at the end) or
+	// single-cell repro completion. rc() folds everything into the exit
+	// status after the journal is flushed.
+	rc, onlyDone := 0, false
+	render := func(args string, f func() int) {
+		if onlyDone {
+			return
+		}
+		curArgs = args
+		defer func() {
+			switch r := recover().(type) {
+			case nil:
+			case *sweep.RunError:
+				rc = 1 // the report prints once, below
+			case *sweep.OnlyDone:
+				fmt.Fprintf(os.Stderr, "figures: cell %s complete\n", r.Ref)
+				onlyDone = true
+			default:
+				panic(r)
+			}
+		}()
+		if code := f(); code > rc {
+			rc = code
+		}
+	}
+
 	switch {
 	case *all:
 		for _, f := range []int{4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18} {
-			renderFig(f, o)
+			f := f
+			render(fmt.Sprintf(" -fig %d", f), func() int { return renderFig(f, o) })
 		}
 		for _, t := range []int{1, 2, 3} {
-			renderTable(t, o)
+			t := t
+			render(fmt.Sprintf(" -table %d", t), func() int { return renderTable(t, o) })
 		}
 	case *fig != 0 && *toCSV:
-		if err := harness.CSV(os.Stdout, *fig, o); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(2)
-		}
+		render(fmt.Sprintf(" -fig %d -csv", *fig), func() int {
+			if err := harness.CSV(os.Stdout, *fig, o); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				return 2
+			}
+			return 0
+		})
 	case *fig != 0:
-		renderFig(*fig, o)
+		render(fmt.Sprintf(" -fig %d", *fig), func() int { return renderFig(*fig, o) })
 	case *table != 0:
-		renderTable(*table, o)
+		render(fmt.Sprintf(" -table %d", *table), func() int { return renderTable(*table, o) })
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if err := resil.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		if rc == 0 {
+			rc = 1
+		}
 	}
 	if err := sinks.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		if rc == 0 {
+			rc = 1
+		}
 	}
+	if engine != nil {
+		if rep := engine.Report(); rep.Degraded() || rep.Interrupted {
+			rep.WriteText(os.Stderr)
+			fmt.Fprintf(os.Stderr, "figures: degraded run: %d cell(s) failed, %d skipped, %d resumed\n",
+				len(rep.Failed), len(rep.Skipped), rep.Resumed)
+			rc = 1
+		} else if rep.Resumed > 0 {
+			fmt.Fprintf(os.Stderr, "figures: resumed %d journalled cell(s)\n", rep.Resumed)
+		}
+	}
+	if resil.Cell != "" && !onlyDone {
+		fmt.Fprintf(os.Stderr, "figures: -cell %s matched no sweep; pair it with the -fig/-table it came from\n", resil.Cell)
+		return 2
+	}
+	return rc
 }
 
-func renderFig(n int, o harness.Options) {
+func renderFig(n int, o harness.Options) int {
 	w := os.Stdout
 	switch n {
 	case 4:
@@ -126,11 +219,12 @@ func renderFig(n int, o harness.Options) {
 		harness.RenderFig18(w, harness.Fig18(o))
 	default:
 		fmt.Fprintf(os.Stderr, "figures: no figure %d (the paper's evaluation figures are 4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18)\n", n)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-func renderTable(n int, o harness.Options) {
+func renderTable(n int, o harness.Options) int {
 	w := os.Stdout
 	switch n {
 	case 1:
@@ -141,6 +235,7 @@ func renderTable(n int, o harness.Options) {
 		harness.RenderTable3(w)
 	default:
 		fmt.Fprintf(os.Stderr, "figures: no table %d\n", n)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -9,10 +9,15 @@
 //	jumanji-sim -design jigsaw -lc mixed -load low -epochs 120
 //	jumanji-sim -design all -vms 12 -seed 3
 //	jumanji-sim -design all -events out.jsonl -tracefile out.trace.json
+//	jumanji-sim -design all -journal run.journal -keep-going
+//
+// Exit status: 0 on success, 1 when any design run failed, was skipped, or
+// an interrupt drained the run, 2 on usage errors.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +26,12 @@ import (
 	"jumanji"
 	"jumanji/internal/obs"
 	"jumanji/internal/obs/statusz"
+	"jumanji/internal/sweep"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		designFlag = flag.String("design", "jumanji", "design to run: static, adaptive, vm-part, jigsaw, jumanji, insecure, ideal, or 'all'")
 		lc         = flag.String("lc", "xapian", "latency-critical app (masstree, xapian, img-dnn, silo, moses) or 'mixed'")
@@ -41,12 +49,14 @@ func main() {
 	sinks.RegisterFlags(flag.CommandLine)
 	var status statusz.CLI
 	status.RegisterFlags(flag.CommandLine)
+	var resil sweep.CLI
+	resil.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if status.Addr != "" {
 		sinks.SpansOn = true // -status implies -spans
 	}
 	if err := sinks.Open(); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	opts := jumanji.DefaultOptions()
@@ -57,6 +67,24 @@ func main() {
 	opts.Metrics, opts.Events, opts.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
 	opts.Spans = sinks.Spans()
 	opts.Progress = status.Tracker()
+
+	fingerprint := fmt.Sprintf("jumanji-sim|design=%s|lc=%s|load=%s|epochs=%d|warmup=%d|seed=%d|vms=%d|router=%d|metrics=%t|events=%t|trace=%t",
+		strings.ToLower(*designFlag), *lc, *load, *epochs, *warmup, *seed, *vms, *router,
+		opts.Metrics != nil, opts.Events != nil, opts.Trace != nil)
+	repro := func(label string, cell int) string {
+		return fmt.Sprintf("jumanji-sim -design %s -lc %s -load %s -epochs %d -warmup %d -seed %d -vms %d -router %d -cell '%s:%d'",
+			*designFlag, *lc, *load, *epochs, *warmup, *seed, *vms, *router, label, cell)
+	}
+	engine, inj, err := resil.Build(*seed, fingerprint, repro)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jumanji-sim:", err)
+		return 2
+	}
+	opts.Engine, opts.Chaos, opts.CheckInvariants = engine, inj, resil.Check
+	if engine != nil {
+		defer sweep.HandleInterrupt(engine.Stop, os.Stderr)()
+	}
+
 	if err := status.Start(statusz.Info{
 		Command: "jumanji-sim",
 		Config: map[string]string{
@@ -66,7 +94,7 @@ func main() {
 			"seed":   fmt.Sprint(*seed),
 		},
 	}, opts.Spans); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	defer status.Close()
 	if status.Addr != "" {
@@ -81,17 +109,43 @@ func main() {
 	} else {
 		d, err := jumanji.ParseDesign(*designFlag)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "jumanji-sim:", err)
+			return 2
 		}
 		designs = []jumanji.Design{d}
 	}
 
 	results, err := jumanji.Compare(opts, build, designs...)
+	if cerr := resil.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
-		fatal(err)
+		var rerr *sweep.RunError
+		var done *sweep.OnlyDone
+		switch {
+		case errors.As(err, &rerr):
+			rerr.Report.WriteText(os.Stderr)
+			fmt.Fprintf(os.Stderr, "jumanji-sim: %v\n", rerr)
+			return 1
+		case errors.As(err, &done):
+			fmt.Fprintf(os.Stderr, "jumanji-sim: cell %s complete\n", done.Ref)
+			return 0
+		}
+		return fatal(err)
+	}
+	if resil.Cell != "" {
+		// A matching -cell ends the run via OnlyDone above; reaching here
+		// means the label never came up.
+		fmt.Fprintf(os.Stderr, "jumanji-sim: -cell %s matched no sweep; pair it with the -design/-lc flags it came from\n", resil.Cell)
+		return 2
 	}
 	if err := sinks.Close(); err != nil {
-		fatal(err)
+		return fatal(err)
+	}
+	if engine != nil {
+		if rep := engine.Report(); rep.Resumed > 0 {
+			fmt.Fprintf(os.Stderr, "jumanji-sim: resumed %d journalled cell(s)\n", rep.Resumed)
+		}
 	}
 
 	if *asJSON {
@@ -119,9 +173,9 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		return
+		return 0
 	}
 
 	fmt.Printf("%-22s %14s %14s %14s %12s\n",
@@ -146,6 +200,7 @@ func main() {
 			}
 		}
 	}
+	return 0
 }
 
 func workloadBuilder(lc string, vms int, seed int64) func(jumanji.Options) (jumanji.Workload, error) {
@@ -158,7 +213,7 @@ func workloadBuilder(lc string, vms int, seed int64) func(jumanji.Options) (juma
 	return jumanji.CaseStudy(lc, seed)
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "jumanji-sim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -220,3 +220,17 @@ func Missing(base *Baseline, got map[string]Metrics) []string {
 	sort.Strings(out)
 	return out
 }
+
+// Extra lists measured benchmarks with no baseline entry, sorted. A brand-new
+// benchmark (or sub-benchmark) is expected to show up here until its baseline
+// is recorded; it is informational, never a gate failure.
+func Extra(base *Baseline, got map[string]Metrics) []string {
+	var out []string
+	for name := range got {
+		if _, ok := base.Results[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -255,6 +255,20 @@ func TestCompareSkipsMetricsAbsentFromBaseline(t *testing.T) {
 	}
 }
 
+func TestExtra(t *testing.T) {
+	b := writeBaseline(t, denseBaseline)
+	got, err := ParseBenchOutput(strings.NewReader(
+		"BenchmarkEngineSchedule-4 10 17000 ns/op 0 B/op 0 allocs/op\n" +
+			"BenchmarkSweepOverhead/disabled-4 100 2100 ns/op 0 B/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Extra(b, got)
+	if len(extra) != 1 || extra[0] != "BenchmarkSweepOverhead/disabled" {
+		t.Errorf("Extra = %v, want [BenchmarkSweepOverhead/disabled]", extra)
+	}
+}
+
 func TestMissing(t *testing.T) {
 	b := writeBaseline(t, denseBaseline)
 	got, err := ParseBenchOutput(strings.NewReader(

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"jumanji/internal/topo"
@@ -372,6 +373,11 @@ func (p *Placement) Validate(in *Input) error {
 	}
 	for app := 0; app < p.napps; app++ {
 		for b, bytes := range p.row(AppID(app)) {
+			// NaN slips past a plain `bytes < 0` check and then poisons every
+			// sum it touches, so it needs its own test.
+			if math.IsNaN(bytes) {
+				return fmt.Errorf("core: app %d has NaN bytes in bank %d", app, b)
+			}
 			if bytes < 0 {
 				return fmt.Errorf("core: app %d has negative bytes in bank %d", app, b)
 			}

@@ -138,6 +138,20 @@ func (c *Controller) Size() float64 { return c.size }
 // Deadline returns the tail-latency deadline.
 func (c *Controller) Deadline() float64 { return c.deadline }
 
+// CheckBounds verifies the controller's saturation invariant: the current
+// allocation is finite and inside [minSize, maxSize]. Update clamps on every
+// decision, so a violation means the controller's state was corrupted from
+// outside — exactly what the chaos invariant checkers look for.
+func (c *Controller) CheckBounds() error {
+	if math.IsNaN(c.size) || math.IsInf(c.size, 0) {
+		return fmt.Errorf("feedback: allocation %g is not finite", c.size)
+	}
+	if c.size < c.minSize || c.size > c.maxSize {
+		return fmt.Errorf("feedback: allocation %g outside [%g, %g]", c.size, c.minSize, c.maxSize)
+	}
+	return nil
+}
+
 // RequestCompleted records one completed request's response latency
 // (including queueing). Once Interval requests accumulate, the controller
 // updates the allocation (Listing 1) and reports changed=true.

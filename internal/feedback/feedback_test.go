@@ -191,3 +191,29 @@ func TestParamsValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestCheckBounds(t *testing.T) {
+	c := newTestController()
+	if err := c.CheckBounds(); err != nil {
+		t.Fatalf("fresh controller out of bounds: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Update(200) // panic-grow repeatedly; clamping must hold
+		if err := c.CheckBounds(); err != nil {
+			t.Fatalf("update %d violated bounds: %v", i, err)
+		}
+	}
+	// Corrupt the state the way chaos would: CheckBounds must notice.
+	c.size = math.NaN()
+	if err := c.CheckBounds(); err == nil {
+		t.Fatal("NaN allocation passed CheckBounds")
+	}
+	c.size = c.maxSize * 2
+	if err := c.CheckBounds(); err == nil {
+		t.Fatal("allocation above maxSize passed CheckBounds")
+	}
+	c.size = 0
+	if err := c.CheckBounds(); err == nil {
+		t.Fatal("allocation below minSize passed CheckBounds")
+	}
+}

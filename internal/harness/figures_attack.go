@@ -91,8 +91,9 @@ type Fig12Result struct {
 func Fig12(o Options) Fig12Result {
 	o.validate()
 	b := caseStudyBuilder("img-dnn", true)
-	type pair struct{ snuca, dnuca float64 }
-	cells := runCells(o, o.Mixes, func(mix int, co Options) pair {
+	// Exported fields: cell results are gob-encoded into the crash journal.
+	type pair struct{ SNUCA, DNUCA float64 }
+	cells := runCells(o, "fig12", o.Mixes, func(mix int, co Options) pair {
 		cfg := co.systemConfig()
 		// Keep the request-arrival seed fixed across mixes: the paper's
 		// Fig. 12 varies only the co-running batch applications, so any
@@ -107,12 +108,12 @@ func Fig12(o Options) Fig12Result {
 		}
 		s := system.RunFixedLat(cfgMix, wl, 2.5*(1<<20), false, o.Epochs, o.Warmup)
 		d := system.RunFixedLat(cfgMix, wl, 2.0*(1<<20), true, o.Epochs, o.Warmup)
-		return pair{snuca: s.WorstNormTail, dnuca: d.WorstNormTail}
+		return pair{SNUCA: s.WorstNormTail, DNUCA: d.WorstNormTail}
 	})
 	var res Fig12Result
 	for _, c := range cells {
-		res.SNUCA = append(res.SNUCA, c.snuca)
-		res.DNUCA = append(res.DNUCA, c.dnuca)
+		res.SNUCA = append(res.SNUCA, c.SNUCA)
+		res.DNUCA = append(res.DNUCA, c.DNUCA)
 	}
 	sort.Float64s(res.SNUCA)
 	sort.Float64s(res.DNUCA)

@@ -27,10 +27,11 @@ func Fig4(o Options) Fig4Result {
 	o.validate()
 	placers := []core.Placer{core.AdaptivePlacer{}, core.VMPartPlacer{}, core.JigsawPlacer{}, core.JumanjiPlacer{}}
 	b := caseStudyBuilder("xapian", true)
+	// Exported fields: cell results are gob-encoded into the crash journal.
 	type timeline struct {
-		lat, alloc, vuln []float64
+		Lat, Alloc, Vuln []float64
 	}
-	cells := runCells(o, len(placers), func(d int, co Options) timeline {
+	cells := runCells(o, "fig4", len(placers), func(d int, co Options) timeline {
 		cfg := co.systemConfig()
 		wl, seed := buildMix(b, cfg.Machine, o.Seed, 0)
 		cfg.Seed = seed
@@ -63,18 +64,18 @@ func Fig4(o Options) Fig4Result {
 			if na > 0 {
 				a /= float64(na)
 			}
-			tl.lat = append(tl.lat, l)
-			tl.alloc = append(tl.alloc, a)
-			tl.vuln = append(tl.vuln, s.Vulnerability)
+			tl.Lat = append(tl.Lat, l)
+			tl.Alloc = append(tl.Alloc, a)
+			tl.Vuln = append(tl.Vuln, s.Vulnerability)
 		}
 		return tl
 	})
 	res := Fig4Result{}
 	for d, p := range placers {
 		res.Designs = append(res.Designs, p.Name())
-		res.LatNorm = append(res.LatNorm, cells[d].lat)
-		res.AllocMB = append(res.AllocMB, cells[d].alloc)
-		res.Vuln = append(res.Vuln, cells[d].vuln)
+		res.LatNorm = append(res.LatNorm, cells[d].Lat)
+		res.AllocMB = append(res.AllocMB, cells[d].Alloc)
+		res.Vuln = append(res.Vuln, cells[d].Vuln)
 	}
 	return res
 }

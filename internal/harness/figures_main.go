@@ -99,7 +99,7 @@ func Fig15(o Options) []Fig15Row {
 	o.validate()
 	placers := mainDesigns()
 	b := caseStudyBuilder("xapian", true)
-	cells := runCells(o, o.Mixes, func(mix int, co Options) []energy.Breakdown {
+	cells := runCells(o, "fig15", o.Mixes, func(mix int, co Options) []energy.Breakdown {
 		cfg := co.systemConfig()
 		cfgMix := cfg
 		wl, seed := buildMix(b, cfg.Machine, o.Seed, mix)

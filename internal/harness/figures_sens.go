@@ -136,7 +136,7 @@ func Fig18(o Options) []Fig18Row {
 	// workloads and only the NoC varies.
 	rds := []int{1, 2, 3}
 	b := mixedBuilder(true)
-	cells := runCells(o, len(rds)*o.Mixes, func(i int, co Options) float64 {
+	cells := runCells(o, "fig18", len(rds)*o.Mixes, func(i int, co Options) float64 {
 		rd, mix := rds[i/o.Mixes], i%o.Mixes
 		cfg := co.systemConfig()
 		cfg.NoC.RouterDelay = sim.Time(rd)

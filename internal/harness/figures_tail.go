@@ -24,7 +24,7 @@ type Fig8Point struct {
 func Fig8(o Options) []Fig8Point {
 	o.validate()
 	allocs := []float64{0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75, 2, 2.5, 3, 4, 5, 6, 8, 10}
-	return runCells(o, len(allocs), func(i int, co Options) Fig8Point {
+	return runCells(o, "fig8", len(allocs), func(i int, co Options) Fig8Point {
 		cfg := co.systemConfig()
 		cfg.Seed = o.Seed
 		wl, err := system.BuildVMWorkload(cfg.Machine, []system.VMSpec{{LatCrit: []string{"xapian"}}}, nil, true)
@@ -78,8 +78,9 @@ func Fig9(o Options) []Fig9Row {
 	// the Fig. 5 case-study label, so every variant (and Fig. 5 itself) sees
 	// the same workloads.
 	b := caseStudyBuilder("xapian", true)
-	type cellOut struct{ speedup, tail float64 }
-	cells := runCells(o, len(variants)*o.Mixes, func(i int, co Options) cellOut {
+	// Exported fields: cell results are gob-encoded into the crash journal.
+	type cellOut struct{ Speedup, Tail float64 }
+	cells := runCells(o, "fig9", len(variants)*o.Mixes, func(i int, co Options) cellOut {
 		v, mix := variants[i/o.Mixes], i%o.Mixes
 		cfg := co.systemConfig()
 		v.mutate(&cfg.Feedback)
@@ -88,15 +89,15 @@ func Fig9(o Options) []Fig9Row {
 		cfgMix.Seed = seed
 		static := system.Run(cfgMix, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
 		ju := system.Run(cfgMix, wl, core.JumanjiPlacer{}, o.Epochs, o.Warmup)
-		return cellOut{speedup: ju.BatchWeightedSpeedup / static.BatchWeightedSpeedup, tail: ju.WorstNormTail}
+		return cellOut{Speedup: ju.BatchWeightedSpeedup / static.BatchWeightedSpeedup, Tail: ju.WorstNormTail}
 	})
 	rows := make([]Fig9Row, 0, len(variants))
 	for vi, v := range variants {
 		var speedups, tails []float64
 		for mix := 0; mix < o.Mixes; mix++ {
 			c := cells[vi*o.Mixes+mix]
-			speedups = append(speedups, c.speedup)
-			tails = append(tails, c.tail)
+			speedups = append(speedups, c.Speedup)
+			tails = append(tails, c.Tail)
 		}
 		rows = append(rows, Fig9Row{
 			Label:         v.label,

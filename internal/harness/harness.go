@@ -14,17 +14,19 @@
 package harness
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math/rand"
-	"time"
 
+	"jumanji/internal/chaos"
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
 	"jumanji/internal/parallel"
 	"jumanji/internal/stats"
+	"jumanji/internal/sweep"
 	"jumanji/internal/system"
 	"jumanji/internal/tailbench"
 )
@@ -66,6 +68,23 @@ type Options struct {
 	// registry — so a live /metrics endpoint can serve a consistent copy
 	// mid-run without racing the single-threaded sinks.
 	PublishMetrics func([]obs.MetricSnapshot)
+	// Engine, when set, layers crash safety over every cell fan-out: the
+	// journal/resume protocol, keep-going failure isolation, per-cell
+	// watchdog deadlines, and single-cell repro mode (internal/sweep). Nil
+	// (the default) is the historical zero-overhead path.
+	Engine *sweep.Engine
+	// Chaos injects deterministic faults into the simulator runs inside
+	// each cell (internal/chaos); the cell-panic fault fires in the sweep
+	// layer via Engine.Chaos. Nil disables injection.
+	Chaos *chaos.Injector
+	// CheckInvariants turns on the per-epoch invariant suite inside every
+	// run (system.Config.CheckInvariants): placement capacity, MRC
+	// validity, finite CPI, controller bounds, reconfiguration liveness.
+	CheckInvariants bool
+	// Ctx, when non-nil, cancels in-flight runs (polled once per epoch).
+	// The sweep layer sets it per cell when a hard deadline is armed;
+	// library callers may install their own.
+	Ctx context.Context
 }
 
 // QuickOptions keeps a full figure regeneration in the seconds range.
@@ -92,6 +111,9 @@ func (o Options) systemConfig() system.Config {
 	cfg := system.DefaultConfig()
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
 	cfg.Spans = o.Spans
+	cfg.Chaos = o.Chaos
+	cfg.CheckInvariants = o.CheckInvariants
+	cfg.Ctx = o.Ctx
 	return cfg
 }
 
@@ -123,39 +145,36 @@ func loadLabel(high bool) string {
 	return "low"
 }
 
-// runCells fans a figure's n independent cells across o.Parallel workers.
-// Each cell receives a copy of o whose observability sinks are private to
-// the cell (obs.Cell); after the pool drains, the private sinks merge into
-// o's sinks in cell-index order. Both the returned results (indexed by
-// cell) and the merged sinks are therefore identical for any worker count.
-// Live introspection rides along without touching determinism: o.Spans and
-// o.Progress are concurrency-safe and shared by all workers as-is (each
-// cell is timed under the "harness.cell" phase), and o.PublishMetrics fires
-// once after the merge, when no worker holds the registry anymore.
-func runCells[T any](o Options, n int, cell func(i int, co Options) T) []T {
-	o.Progress.Begin(n, parallel.Workers(min(o.Parallel, n)))
-	cells := make([]*obs.Cell, n)
-	out := parallel.Map(o.Parallel, n, func(i int) T {
-		t0 := time.Now()
-		cells[i] = obs.NewCell(o.Metrics, o.Events, o.Trace)
-		co := o
-		co.Parallel = 1 // cells never nest fan-out
-		co.Metrics, co.Events, co.Trace = cells[i].Metrics, cells[i].Events, cells[i].Trace
-		res := cell(i, co)
-		d := time.Since(t0)
-		o.Spans.Record("harness.cell", t0, d)
-		o.Progress.CellDone(d)
-		return res
-	})
-	for _, c := range cells {
-		if err := c.MergeInto(o.Metrics, o.Events, o.Trace); err != nil {
-			panic(fmt.Sprintf("harness: merging cell sinks: %v", err))
-		}
+// runCells fans a figure's n independent cells across o.Parallel workers
+// through sweep.Cells. Each cell receives a copy of o whose observability
+// sinks are private to the cell (obs.Cell); after the pool drains, the
+// private sinks merge into o's sinks in cell-index order. Both the returned
+// results (indexed by cell) and the merged sinks are therefore identical for
+// any worker count. Live introspection rides along without touching
+// determinism: o.Spans and o.Progress are concurrency-safe and shared by all
+// workers as-is (each cell is timed under the "harness.cell" phase), and
+// o.PublishMetrics fires once after the merge, when no worker holds the
+// registry anymore.
+//
+// The label names this sweep in journal records, resume lookups, failure
+// reports, and -cell repro coordinates; it must be stable across runs and
+// unique per distinct cell grid. With o.Engine nil the sweep layer is the
+// historical zero-overhead fan-out.
+func runCells[T any](o Options, label string, n int, cell func(i int, co Options) T) []T {
+	s := sweep.Sinks{
+		Metrics: o.Metrics, Events: o.Events, Trace: o.Trace,
+		Spans: o.Spans, Progress: o.Progress, PublishMetrics: o.PublishMetrics,
 	}
-	if o.PublishMetrics != nil {
-		o.PublishMetrics(o.Metrics.Snapshot())
-	}
-	return out
+	return sweep.Cells(o.Engine, s, label, o.Seed, o.Parallel, n,
+		func(i int, c *obs.Cell, ctx context.Context) T {
+			co := o
+			co.Parallel = 1 // cells never nest fan-out
+			co.Metrics, co.Events, co.Trace = c.Metrics, c.Events, c.Trace
+			if ctx != nil { // a nil ctx keeps any caller-installed o.Ctx
+				co.Ctx = ctx
+			}
+			return cell(i, co)
+		})
 }
 
 // designs returns the four designs of the main comparison plus Static.
@@ -202,11 +221,27 @@ func buildMix(b mixBuilder, m core.Machine, base int64, mix int) (system.Workloa
 }
 
 // mixOutcome is one mix cell's raw per-placer results, indexed like the
-// placers passed to runMixCells.
+// placers passed to runMixCells. The fields are exported because cell
+// results are gob-encoded into the crash journal (internal/sweep), which
+// silently drops unexported fields.
 type mixOutcome struct {
-	tails    []float64 // worst normalized tail per placer
-	speedups []float64 // batch weighted speedup vs Static per placer
-	vulns    []float64 // vulnerability per placer
+	Tails    []float64 // worst normalized tail per placer
+	Speedups []float64 // batch weighted speedup vs Static per placer
+	Vulns    []float64 // vulnerability per placer
+}
+
+// sweepLabel names a runMixCells grid: the workload configuration plus the
+// placer set, so e.g. Fig. 5 (main designs) and Fig. 16 (Jumanji variants)
+// over the same builder journal under distinct keys.
+func sweepLabel(b mixBuilder, placers []core.Placer) string {
+	label := b.label + "|"
+	for i, p := range placers {
+		if i > 0 {
+			label += "+"
+		}
+		label += p.Name()
+	}
+	return label
 }
 
 // runMixCells runs each placer over `o.Mixes` workloads of the builder's
@@ -217,15 +252,15 @@ type mixOutcome struct {
 // TestMixPrefixIndependent rely on.
 func runMixCells(o Options, b mixBuilder, placers []core.Placer) []mixOutcome {
 	o.validate()
-	return runCells(o, o.Mixes, func(mix int, co Options) mixOutcome {
+	return runCells(o, sweepLabel(b, placers), o.Mixes, func(mix int, co Options) mixOutcome {
 		cfg := co.systemConfig()
 		cfgMix := cfg
 		wl, seed := buildMix(b, cfg.Machine, o.Seed, mix)
 		cfgMix.Seed = seed
 		out := mixOutcome{
-			tails:    make([]float64, len(placers)),
-			speedups: make([]float64, len(placers)),
-			vulns:    make([]float64, len(placers)),
+			Tails:    make([]float64, len(placers)),
+			Speedups: make([]float64, len(placers)),
+			Vulns:    make([]float64, len(placers)),
 		}
 		var static *system.RunResult
 		results := make([]*system.RunResult, len(placers))
@@ -239,9 +274,9 @@ func runMixCells(o Options, b mixBuilder, placers []core.Placer) []mixOutcome {
 			static = system.Run(cfgMix, wl, core.StaticPlacer{}, o.Epochs, o.Warmup)
 		}
 		for i, r := range results {
-			out.tails[i] = r.WorstNormTail
-			out.speedups[i] = r.BatchWeightedSpeedup / static.BatchWeightedSpeedup
-			out.vulns[i] = r.Vulnerability
+			out.Tails[i] = r.WorstNormTail
+			out.Speedups[i] = r.BatchWeightedSpeedup / static.BatchWeightedSpeedup
+			out.Vulns[i] = r.Vulnerability
 		}
 		return out
 	})
@@ -255,11 +290,11 @@ func runMixes(o Options, b mixBuilder, placers []core.Placer) []DesignSummary {
 		var tails, speedups []float64
 		vuln := 0.0
 		for _, m := range outcomes {
-			if m.tails[i] > 0 {
-				tails = append(tails, m.tails[i])
+			if m.Tails[i] > 0 {
+				tails = append(tails, m.Tails[i])
 			}
-			speedups = append(speedups, m.speedups[i])
-			vuln += m.vulns[i]
+			speedups = append(speedups, m.Speedups[i])
+			vuln += m.Vulns[i]
 		}
 		out[i] = DesignSummary{
 			Design:        p.Name(),

@@ -1,0 +1,289 @@
+// Package journal makes long sweeps crash-safe: every completed cell of a
+// figure/table run is appended to a JSONL journal keyed by (label, cell
+// index, seed), fsync'd record by record, so a panic, OOM, or Ctrl-C loses at
+// most the cells still in flight. A later run opened with -resume replays the
+// journalled cells and computes only the remainder, producing output
+// byte-identical to an uninterrupted run.
+//
+// The format is designed for exactly the failure it protects against —
+// a process dying mid-write:
+//
+//   - One JSON object per line. The first line is a header binding the
+//     journal to a fingerprint of the run's Options (epochs, mixes, seed,
+//     enabled sinks); resuming under different options must refuse, not merge
+//     stale cells.
+//   - Every line carries a CRC-32C self-checksum, so a torn or half-flushed
+//     final line is detected and dropped rather than half-parsed. Corruption
+//     anywhere except the final line is a hard error: that is not a crash
+//     artifact, it is a damaged file.
+//   - Duplicate (label, cell, seed) records are legal and last-write-wins,
+//     so re-running an interrupted resume never needs to rewrite the file.
+//
+// Payloads are opaque bytes; callers gob-encode their cell results (gob
+// round-trips NaN timeline markers that JSON cannot).
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const (
+	magic   = "jumanji-cells"
+	version = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// header is the first line of every journal.
+type header struct {
+	Journal     string `json:"journal"`
+	V           int    `json:"v"`
+	Fingerprint string `json:"fingerprint"`
+	Sum         string `json:"sum"`
+}
+
+// record is one completed cell.
+type record struct {
+	Label   string `json:"label"`
+	Cell    int    `json:"cell"`
+	Seed    int64  `json:"seed"`
+	Payload []byte `json:"payload"` // encoding/json base64-encodes []byte
+	Sum     string `json:"sum"`
+}
+
+func headerSum(fingerprint string) string {
+	return fmt.Sprintf("%08x", crc32.Checksum([]byte(magic+"|"+fingerprint), castagnoli))
+}
+
+func recordSum(label string, cell int, seed int64, payload []byte) string {
+	h := crc32.New(castagnoli)
+	fmt.Fprintf(h, "%s|%d|%d|", label, cell, seed)
+	h.Write(payload)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// Key identifies one cell of one figure/table sweep.
+type Key struct {
+	Label string
+	Cell  int
+	Seed  int64
+}
+
+// Log is a loaded journal: the completed cells, deduplicated last-write-wins.
+type Log struct {
+	// Fingerprint is the Options fingerprint the journal was created under.
+	Fingerprint string
+	// ValidBytes is the file offset up to which the journal parsed cleanly;
+	// OpenAppend truncates to it before appending, discarding a torn tail.
+	ValidBytes int64
+	cells      map[Key][]byte
+}
+
+// Load reads a journal. A torn or checksum-failing *final* line (the
+// signature of a crash mid-append) is tolerated and excluded from ValidBytes;
+// corruption anywhere earlier is an error.
+func Load(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	l := &Log{cells: make(map[Key][]byte)}
+	r := bufio.NewReader(f)
+	var offset int64
+	lineNo := 0
+	// pending holds the first bad line's diagnosis; it only becomes an error
+	// if a complete line follows it.
+	var pending error
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			terminated := line[len(line)-1] == '\n'
+			if pending != nil {
+				return nil, fmt.Errorf("journal %s: %w (not the final record — the file is damaged, not torn)", path, pending)
+			}
+			if bad := l.consume(line, lineNo, terminated); bad != nil {
+				pending = bad
+			} else {
+				offset += int64(len(line))
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("journal %s: %w", path, err)
+		}
+	}
+	if lineNo == 0 {
+		return nil, fmt.Errorf("journal %s: empty file", path)
+	}
+	if l.Fingerprint == "" && pending != nil {
+		// The header itself was torn: nothing usable.
+		return nil, fmt.Errorf("journal %s: %w", path, pending)
+	}
+	l.ValidBytes = offset
+	return l, nil
+}
+
+// consume parses one line (the first becomes the header). It returns a
+// diagnosis for a bad line instead of an error so Load can apply the
+// final-line tolerance.
+func (l *Log) consume(line []byte, lineNo int, terminated bool) error {
+	if !terminated {
+		return fmt.Errorf("line %d: torn record (no trailing newline)", lineNo)
+	}
+	if lineNo == 1 {
+		var h header
+		if err := json.Unmarshal(line, &h); err != nil {
+			return fmt.Errorf("line 1: bad header: %v", err)
+		}
+		if h.Journal != magic || h.V != version {
+			return fmt.Errorf("line 1: not a %s v%d journal", magic, version)
+		}
+		if h.Sum != headerSum(h.Fingerprint) {
+			return fmt.Errorf("line 1: header checksum mismatch")
+		}
+		l.Fingerprint = h.Fingerprint
+		return nil
+	}
+	var rec record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return fmt.Errorf("line %d: bad record: %v", lineNo, err)
+	}
+	if rec.Sum != recordSum(rec.Label, rec.Cell, rec.Seed, rec.Payload) {
+		return fmt.Errorf("line %d: record checksum mismatch (label %q cell %d)", lineNo, rec.Label, rec.Cell)
+	}
+	l.cells[Key{rec.Label, rec.Cell, rec.Seed}] = rec.Payload
+	return nil
+}
+
+// Check refuses a journal written under a different Options fingerprint.
+func (l *Log) Check(fingerprint string) error {
+	if l.Fingerprint != fingerprint {
+		return fmt.Errorf("journal was written by a run with different options (journal fingerprint %s, this run %s); delete it or rerun with the original flags",
+			l.Fingerprint, fingerprint)
+	}
+	return nil
+}
+
+// Get returns the journalled payload for a cell.
+func (l *Log) Get(label string, cell int, seed int64) ([]byte, bool) {
+	if l == nil {
+		return nil, false
+	}
+	p, ok := l.cells[Key{label, cell, seed}]
+	return p, ok
+}
+
+// Len is the number of distinct journalled cells.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.cells)
+}
+
+// Writer appends fsync'd cell records. Append is safe for concurrent use —
+// pooled workers journal each cell as it completes.
+type Writer struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// Create starts a fresh journal at path (truncating any previous file) bound
+// to the given Options fingerprint.
+func Create(path, fingerprint string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	h := header{Journal: magic, V: version, Fingerprint: fingerprint, Sum: headerSum(fingerprint)}
+	w := &Writer{f: f}
+	if err := w.writeLine(h); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// OpenAppend reopens an existing journal for appending, first truncating the
+// file to the loaded Log's ValidBytes so a torn tail from the crash is
+// physically discarded before new records follow it.
+func OpenAppend(path string, l *Log) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(l.ValidBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal %s: truncating torn tail: %w", path, err)
+	}
+	if _, err := f.Seek(l.ValidBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f}, nil
+}
+
+// Append journals one completed cell and fsyncs. Errors are sticky: once an
+// append fails the writer refuses further records, so a full disk degrades to
+// "journal incomplete", never to interleaved garbage.
+func (w *Writer) Append(label string, cell int, seed int64, payload []byte) error {
+	rec := record{Label: label, Cell: cell, Seed: seed, Payload: payload,
+		Sum: recordSum(label, cell, seed, payload)}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.writeLineLocked(rec); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+func (w *Writer) writeLine(v any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeLineLocked(v)
+}
+
+func (w *Writer) writeLineLocked(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the journal file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	err := w.f.Close()
+	w.f = nil
+	if w.err == nil {
+		w.err = errors.New("journal: closed")
+		return err
+	}
+	return w.err
+}

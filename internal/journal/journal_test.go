@@ -1,0 +1,230 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJournal(t *testing.T, cells ...record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	w, err := Create(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if err := w.Append(c.Label, c.Cell, c.Seed, c.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := writeJournal(t,
+		record{Label: "fig12", Cell: 0, Seed: 1, Payload: []byte("alpha")},
+		record{Label: "fig12", Cell: 3, Seed: 1, Payload: []byte{0x00, 0xff, 0x10}},
+		record{Label: "fig9", Cell: 0, Seed: 7, Payload: nil},
+	)
+	l, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Fingerprint != "fp-1" {
+		t.Fatalf("fingerprint = %q", l.Fingerprint)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if p, ok := l.Get("fig12", 3, 1); !ok || !bytes.Equal(p, []byte{0x00, 0xff, 0x10}) {
+		t.Fatalf("Get(fig12,3,1) = %v, %v", p, ok)
+	}
+	if _, ok := l.Get("fig12", 3, 2); ok {
+		t.Fatal("Get matched a record with the wrong seed")
+	}
+	if fi, _ := os.Stat(path); fi.Size() != l.ValidBytes {
+		t.Fatalf("ValidBytes = %d, file size %d", l.ValidBytes, fi.Size())
+	}
+}
+
+// A crash mid-append tears the final line; Load must keep every earlier cell
+// and OpenAppend must physically truncate the tear before appending.
+func TestTruncatedLastRecordTolerated(t *testing.T) {
+	path := writeJournal(t,
+		record{Label: "fig4", Cell: 0, Seed: 1, Payload: []byte("keep-me")},
+		record{Label: "fig4", Cell: 1, Seed: 1, Payload: []byte("torn")},
+	)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := raw[:len(raw)-9] // drop the tail of the final record, incl. newline
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := Load(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated, got %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want only the intact cell", l.Len())
+	}
+	if _, ok := l.Get("fig4", 0, 1); !ok {
+		t.Fatal("intact cell lost")
+	}
+	if _, ok := l.Get("fig4", 1, 1); ok {
+		t.Fatal("torn cell must not survive")
+	}
+
+	w, err := OpenAppend(path, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("fig4", 1, 1, []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	l2, err := Load(path)
+	if err != nil {
+		t.Fatalf("journal after OpenAppend: %v", err)
+	}
+	if p, ok := l2.Get("fig4", 1, 1); !ok || string(p) != "rewritten" {
+		t.Fatalf("after append Get = %q, %v", p, ok)
+	}
+}
+
+// Corruption that is not the final line is file damage, not a crash artifact:
+// Load must refuse loudly rather than silently dropping cells.
+func TestChecksumMismatchMidFileFails(t *testing.T) {
+	path := writeJournal(t,
+		record{Label: "fig8", Cell: 0, Seed: 1, Payload: []byte("aaaa")},
+		record{Label: "fig8", Cell: 1, Seed: 1, Payload: []byte("bbbb")},
+		record{Label: "fig8", Cell: 2, Seed: 1, Payload: []byte("cccc")},
+	)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip payload bytes in the middle record (line 3 of 4).
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	lines[2] = bytes.Replace(lines[2], []byte("YmJiYg"), []byte("eHhiYg"), 1) // "bbbb" -> "xxbb" in base64
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Load(path)
+	if err == nil {
+		t.Fatal("mid-file checksum mismatch must fail Load")
+	}
+	if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("error %q does not name the checksum mismatch", err)
+	}
+	if !strings.Contains(err.Error(), "not the final record") {
+		t.Fatalf("error %q does not distinguish damage from a torn tail", err)
+	}
+}
+
+// A checksum-failing FINAL line is the torn-tail case and is dropped.
+func TestChecksumMismatchFinalLineTolerated(t *testing.T) {
+	path := writeJournal(t,
+		record{Label: "fig8", Cell: 0, Seed: 1, Payload: []byte("aaaa")},
+		record{Label: "fig8", Cell: 1, Seed: 1, Payload: []byte("bbbb")},
+	)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := bytes.Replace(raw, []byte("YmJiYg"), []byte("eHhiYg"), 1)
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(path)
+	if err != nil {
+		t.Fatalf("corrupt final line must be tolerated: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestDuplicateCellsLastWriteWins(t *testing.T) {
+	path := writeJournal(t,
+		record{Label: "fig15", Cell: 2, Seed: 9, Payload: []byte("first")},
+		record{Label: "fig15", Cell: 3, Seed: 9, Payload: []byte("other")},
+		record{Label: "fig15", Cell: 2, Seed: 9, Payload: []byte("second")},
+	)
+	l, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 distinct cells", l.Len())
+	}
+	if p, _ := l.Get("fig15", 2, 9); string(p) != "second" {
+		t.Fatalf("duplicate cell resolved to %q, want last write", p)
+	}
+}
+
+func TestFingerprintMismatchRefused(t *testing.T) {
+	path := writeJournal(t, record{Label: "fig18", Cell: 0, Seed: 1, Payload: []byte("x")})
+	l, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Check("fp-1"); err != nil {
+		t.Fatalf("matching fingerprint refused: %v", err)
+	}
+	err = l.Check("fp-other")
+	if err == nil {
+		t.Fatal("mismatched fingerprint must be refused")
+	}
+	if !strings.Contains(err.Error(), "different options") {
+		t.Fatalf("refusal %q does not explain the options mismatch", err)
+	}
+}
+
+func TestTornHeaderFails(t *testing.T) {
+	path := writeJournal(t)
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("torn header must fail Load")
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty.journal")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Fatal("empty journal must fail Load")
+	}
+}
+
+func TestNotAJournalFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "random.json")
+	if err := os.WriteFile(path, []byte(`{"some":"file"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("non-journal file must fail Load")
+	}
+}
+
+func TestNilLogAccessors(t *testing.T) {
+	var l *Log
+	if _, ok := l.Get("x", 0, 0); ok {
+		t.Fatal("nil Log Get returned a record")
+	}
+	if l.Len() != 0 {
+		t.Fatal("nil Log Len != 0")
+	}
+}

@@ -96,6 +96,40 @@ func (c Curve) Scale(f float64) Curve {
 	return out
 }
 
+// Validate checks the curve invariants the allocation algorithms rely on:
+// a positive unit, at least one point, and every point finite and
+// non-negative. With requireMonotone it additionally demands the curve be
+// non-increasing, up to a relative tolerance of 1e-9 per step — convex hulls
+// are resampled through float arithmetic and may wiggle by an ulp, which is
+// not corruption. New enforces the basic invariants at construction; Validate
+// exists for the chaos invariant checkers, which must detect curves corrupted
+// *after* construction.
+func (c Curve) Validate(requireMonotone bool) error {
+	if c.Unit <= 0 || math.IsNaN(c.Unit) {
+		return fmt.Errorf("mrc: non-positive unit %v", c.Unit)
+	}
+	if len(c.M) == 0 {
+		return fmt.Errorf("mrc: empty curve")
+	}
+	for i, p := range c.M {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("mrc: non-finite miss rate %v at point %d", p, i)
+		}
+		if p < 0 {
+			return fmt.Errorf("mrc: negative miss rate %v at point %d", p, i)
+		}
+	}
+	if requireMonotone {
+		for i := 1; i < len(c.M); i++ {
+			tol := 1e-9 * math.Max(1, math.Abs(c.M[i-1]))
+			if c.M[i] > c.M[i-1]+tol {
+				return fmt.Errorf("mrc: curve not monotone: point %d rises %v -> %v", i, c.M[i-1], c.M[i])
+			}
+		}
+	}
+	return nil
+}
+
 // Monotone returns a copy of the curve forced to be non-increasing by
 // propagating running minima left to right. Measured curves can wiggle due
 // to sampling noise; allocation algorithms assume more capacity never hurts.

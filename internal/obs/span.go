@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,6 +42,13 @@ type Spans struct {
 	order  []string
 	trace  bool
 	events []spanEvent
+
+	// Active-span tracking is opt-in (TrackActive) and gated by an atomic so
+	// the disabled Start path stays allocation-free: the watchdog uses it to
+	// report what phase a stuck cell is currently inside.
+	tracking atomic.Bool
+	nextID   uint64
+	active   map[uint64]ActiveSpan
 }
 
 type spanEvent struct {
@@ -76,6 +84,7 @@ type Span struct {
 	spans *Spans
 	name  string
 	start time.Time
+	id    uint64 // nonzero only while active-span tracking is on
 }
 
 // Start begins timing the named phase. Phase names are hierarchical
@@ -85,7 +94,15 @@ func (s *Spans) Start(name string) Span {
 	if s == nil {
 		return Span{}
 	}
-	return Span{spans: s, name: name, start: time.Now()}
+	sp := Span{spans: s, name: name, start: time.Now()}
+	if s.tracking.Load() {
+		s.mu.Lock()
+		s.nextID++
+		sp.id = s.nextID
+		s.active[sp.id] = ActiveSpan{Name: name, Start: sp.start}
+		s.mu.Unlock()
+	}
+	return sp
 }
 
 // Stop ends the span, records its duration, and returns it. Stop on the
@@ -96,7 +113,58 @@ func (sp Span) Stop() time.Duration {
 	}
 	d := time.Since(sp.start)
 	sp.spans.observe(sp.name, sp.start, d)
+	if sp.id != 0 {
+		sp.spans.mu.Lock()
+		delete(sp.spans.active, sp.id)
+		sp.spans.mu.Unlock()
+	}
 	return d
+}
+
+// ActiveSpan is one phase currently being timed, reported by Active.
+type ActiveSpan struct {
+	Name  string
+	Start time.Time
+}
+
+// TrackActive turns on active-span tracking: from now on every in-flight
+// Start/Stop pair is visible through Active. Off by default because it adds
+// a map write per span; the watchdog enables it to say what a stuck cell is
+// doing.
+func (s *Spans) TrackActive() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.active == nil {
+		s.active = make(map[uint64]ActiveSpan)
+	}
+	s.mu.Unlock()
+	s.tracking.Store(true)
+}
+
+// Active returns the spans currently in flight, oldest first. Nil without
+// TrackActive or on a nil Spans.
+func (s *Spans) Active() []ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.active) == 0 {
+		return nil
+	}
+	out := make([]ActiveSpan, 0, len(s.active))
+	for _, a := range s.active {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // Record observes an externally-timed phase: a duration d that began at

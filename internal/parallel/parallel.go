@@ -6,15 +6,18 @@
 // bit-identical to a serial run regardless of worker count or completion
 // order.
 //
-// The package deliberately exposes only index-addressed fan-out (Map), not
-// channels or futures: deterministic merging is the whole point, and a
-// result slice indexed by job keeps "merge in cell order" trivial for every
-// caller.
+// The package deliberately exposes only index-addressed fan-out (Map and its
+// recovering variant MapRecover), not channels or futures: deterministic
+// merging is the whole point, and a result slice indexed by job keeps "merge
+// in cell order" trivial for every caller.
 package parallel
 
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -28,38 +31,134 @@ func Workers(n int) int {
 	return runtime.NumCPU()
 }
 
+// Failure records one job's recovered panic: the job index, the panic value,
+// and the failing goroutine's stack captured at the recovery point. It
+// implements error with the same "parallel: job %d panicked" wrapping Map
+// has always re-raised, so failing cells stay identifiable either way.
+type Failure struct {
+	Index int    // job index that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack of the failing goroutine, captured at recovery
+}
+
+func (f Failure) Error() string {
+	return fmt.Sprintf("parallel: job %d panicked: %v", f.Index, f.Value)
+}
+
+// Stopper is a cooperative cancellation flag for a pooled run: once stopped,
+// no new jobs are handed out, while in-flight jobs drain normally. It is the
+// mechanism behind graceful SIGINT handling — completed cells keep their
+// results (and journal records), unstarted cells are reported as skipped. A
+// nil *Stopper never stops.
+type Stopper struct{ flag atomic.Bool }
+
+// Stop requests that no further jobs start. Safe from any goroutine
+// (typically a signal handler); idempotent.
+func (s *Stopper) Stop() {
+	if s != nil {
+		s.flag.Store(true)
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (s *Stopper) Stopped() bool { return s != nil && s.flag.Load() }
+
+// CombinedError folds one or more failures into the error Map re-raises:
+// deterministically the one with the lowest job index, with every failing
+// index listed when there are several. Sorting by index — never by which
+// worker lost the race — keeps a multi-failure sweep's panic reproducible.
+func CombinedError(failures []Failure) error {
+	if len(failures) == 0 {
+		return nil
+	}
+	sorted := make([]Failure, len(failures))
+	copy(sorted, failures)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	first := sorted[0]
+	if len(sorted) == 1 {
+		return first
+	}
+	idx := make([]string, len(sorted))
+	for i, f := range sorted {
+		idx[i] = fmt.Sprint(f.Index)
+	}
+	return fmt.Errorf("parallel: job %d panicked: %v (all failing jobs: %s)",
+		first.Index, first.Value, strings.Join(idx, ", "))
+}
+
 // Map runs job(0..n-1) across `workers` goroutines and returns the results
 // indexed by job, so output order is independent of scheduling. workers <= 1
 // (or n <= 1) runs every job inline on the calling goroutine — the exact
 // serial path, with no goroutines involved. Jobs are handed out by an atomic
 // counter, so long and short jobs share the pool without static chunking.
 //
-// A panic inside a job is re-raised on the calling goroutine wrapped with
-// the failing job's index — on the serial path immediately, on the pooled
-// path after the pool drains. The simulator's convention is that invalid
-// configuration panics, and a sweep of hundreds of cells is undebuggable
-// unless the panic names which cell blew up.
+// A panic inside a job stops further jobs from starting, drains the pool,
+// and is re-raised on the calling goroutine wrapped with the failing job's
+// index. When several jobs panic before the pool drains, the re-raised panic
+// is deterministically the lowest failing index (CombinedError), listing all
+// of them. The simulator's convention is that invalid configuration panics,
+// and a sweep of hundreds of cells is undebuggable unless the panic names
+// which cell blew up.
 func Map[T any](workers, n int, job func(int) T) []T {
-	if n <= 0 {
-		return nil
+	out, failures, _ := MapRecover(workers, n, nil, true, job)
+	if err := CombinedError(failures); err != nil {
+		panic(err)
 	}
-	out := make([]T, n)
+	return out
+}
+
+// MapRecover is Map's failure-isolating variant: every panicking job is
+// recovered into a Failure (with its stack) instead of aborting the sweep,
+// and the caller decides what a degraded run means. It returns the results
+// indexed by job (zero values at failed or skipped indices), the failures
+// sorted by job index, and the indices of jobs that never started — because
+// stop was triggered, or because failFast ended the run after the first
+// failure. failFast=false is "keep going": every job runs regardless of how
+// many fail.
+func MapRecover[T any](workers, n int, stop *Stopper, failFast bool, job func(int) T) (out []T, failures []Failure, skipped []int) {
+	if n <= 0 {
+		return nil, nil, nil
+	}
+	out = make([]T, n)
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
+
+	var (
+		mu     sync.Mutex
+		failed atomic.Bool
+	)
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				failed.Store(true)
+				mu.Lock()
+				failures = append(failures, Failure{Index: i, Value: r, Stack: debug.Stack()})
+				mu.Unlock()
+			}
+		}()
+		out[i] = job(i)
+	}
+	halted := func() bool {
+		return stop.Stopped() || (failFast && failed.Load())
+	}
+
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			runJob(out, i, job)
+			if halted() {
+				skipped = append(skipped, i)
+				continue
+			}
+			runOne(i)
 		}
-		return out
+		sortFailures(failures)
+		return out, failures, skipped
 	}
 
 	var (
-		next      atomic.Int64
-		wg        sync.WaitGroup
-		panicOnce sync.Once
-		panicked  any
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
@@ -71,33 +170,22 @@ func Map[T any](workers, n int, job func(int) T) []T {
 				if i >= n {
 					return
 				}
-				func() {
-					defer func() {
-						// runJob already wrapped the panic with the job index.
-						if r := recover(); r != nil {
-							panicOnce.Do(func() { panicked = r })
-						}
-					}()
-					runJob(out, i, job)
-				}()
+				if halted() {
+					mu.Lock()
+					skipped = append(skipped, i)
+					mu.Unlock()
+					continue
+				}
+				runOne(i)
 			}
 		}()
 	}
 	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
-	}
-	return out
+	sortFailures(failures)
+	sort.Ints(skipped)
+	return out, failures, skipped
 }
 
-// runJob executes one job, converting any panic into one that carries the
-// job index. Both the serial and the pooled path go through it, so the
-// failing cell is identifiable either way.
-func runJob[T any](out []T, i int, job func(int) T) {
-	defer func() {
-		if r := recover(); r != nil {
-			panic(fmt.Errorf("parallel: job %d panicked: %v", i, r))
-		}
-	}()
-	out[i] = job(i)
+func sortFailures(failures []Failure) {
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
 }

@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"sync"
+	"time"
+)
+
+// Watchdog monitors in-flight cells of a pooled run against two wall-clock
+// deadlines: a soft deadline that fires OnStuck once per cell (the cell keeps
+// running — the callback logs it), and a hard deadline that fires OnHard once
+// per cell, whose registered cancel function is invoked so the cell's context
+// unwinds it. Both deadlines are optional (zero disables); a nil *Watchdog
+// disables everything, so the per-cell cost of a disabled watchdog is one nil
+// check.
+//
+// The watchdog measures host time and runs its scanner on its own goroutine,
+// so — like obs.Spans — it is deliberately outside the deterministic
+// single-goroutine sinks: it observes a run, it never alters results.
+type Watchdog struct {
+	// Soft and Hard are the per-cell deadlines; zero disables each.
+	Soft, Hard time.Duration
+	// OnStuck is called (from the scanner goroutine) once per cell whose
+	// runtime exceeds Soft.
+	OnStuck func(index int, running time.Duration)
+	// OnHard is called once per cell whose runtime exceeds Hard, right after
+	// the cell's registered cancel function is invoked.
+	OnHard func(index int, running time.Duration)
+
+	mu      sync.Mutex
+	active  map[int]*watchedCell
+	started bool
+	done    chan struct{}
+	exited  chan struct{}
+}
+
+type watchedCell struct {
+	start      time.Time
+	cancel     func()
+	soft, hard bool
+}
+
+// Begin registers cell i as running; cancel (may be nil) is invoked if the
+// hard deadline passes. The returned func deregisters the cell and must be
+// called when the cell finishes. Begin on a nil watchdog returns a no-op.
+func (w *Watchdog) Begin(i int, cancel func()) func() {
+	if w == nil || (w.Soft <= 0 && w.Hard <= 0) {
+		return func() {}
+	}
+	w.mu.Lock()
+	if w.active == nil {
+		w.active = make(map[int]*watchedCell)
+	}
+	w.active[i] = &watchedCell{start: time.Now(), cancel: cancel}
+	if !w.started {
+		w.started = true
+		w.done = make(chan struct{})
+		w.exited = make(chan struct{})
+		go w.scan(w.done, w.exited)
+	}
+	w.mu.Unlock()
+	return func() {
+		w.mu.Lock()
+		delete(w.active, i)
+		w.mu.Unlock()
+	}
+}
+
+// Close stops the scanner goroutine and waits for it to exit, so no
+// callback is in flight once Close returns. Safe on nil and when never
+// started.
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	var exited chan struct{}
+	if w.started {
+		close(w.done)
+		exited = w.exited
+		w.started = false
+	}
+	w.mu.Unlock()
+	// Wait outside the lock: a mid-flight sweep still needs w.mu to collect
+	// its firing list before the scanner can exit.
+	if exited != nil {
+		<-exited
+	}
+}
+
+// tick picks the scan period: a quarter of the tightest deadline, clamped to
+// [10ms, 1s], so deadlines are detected promptly without busy-polling.
+func (w *Watchdog) tick() time.Duration {
+	d := w.Soft
+	if d <= 0 || (w.Hard > 0 && w.Hard < d) {
+		d = w.Hard
+	}
+	d /= 4
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+func (w *Watchdog) scan(done <-chan struct{}, exited chan<- struct{}) {
+	defer close(exited)
+	t := time.NewTicker(w.tick())
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case now := <-t.C:
+			w.sweep(now)
+		}
+	}
+}
+
+// sweep fires the deadline callbacks for every overdue cell. Callbacks run
+// outside the lock: OnStuck typically logs, and a cancel function may
+// synchronously wake the cell.
+func (w *Watchdog) sweep(now time.Time) {
+	type firing struct {
+		index   int
+		running time.Duration
+		cancel  func()
+		hard    bool
+	}
+	var fire []firing
+	w.mu.Lock()
+	for i, c := range w.active {
+		running := now.Sub(c.start)
+		if w.Soft > 0 && running >= w.Soft && !c.soft {
+			c.soft = true
+			fire = append(fire, firing{index: i, running: running})
+		}
+		if w.Hard > 0 && running >= w.Hard && !c.hard {
+			c.hard = true
+			fire = append(fire, firing{index: i, running: running, cancel: c.cancel, hard: true})
+		}
+	}
+	w.mu.Unlock()
+	for _, f := range fire {
+		if f.hard {
+			if f.cancel != nil {
+				f.cancel()
+			}
+			if w.OnHard != nil {
+				w.OnHard(f.index, f.running)
+			}
+		} else if w.OnStuck != nil {
+			w.OnStuck(f.index, f.running)
+		}
+	}
+}

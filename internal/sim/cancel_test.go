@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunAllCancel(t *testing.T) {
+	var e Engine
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetContext(ctx)
+
+	// A self-rescheduling event would loop forever without cancellation.
+	executed := 0
+	var tick Event
+	tick = func() {
+		executed++
+		if executed == 10 {
+			cancel()
+		}
+		e.Schedule(1, tick)
+	}
+	e.Schedule(0, tick)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("canceled RunAll returned")
+		}
+		var cerr *CancelError
+		err, ok := r.(error)
+		if !ok || !errors.As(err, &cerr) {
+			t.Fatalf("panicked with %v, want *CancelError", r)
+		}
+		if !errors.Is(cerr, context.Canceled) {
+			t.Fatalf("cause = %v", cerr.Cause)
+		}
+		if executed < 10 {
+			t.Fatalf("canceled after %d events, want at least 10", executed)
+		}
+	}()
+	e.RunAll()
+}
+
+func TestRunCancelBeforeStart(t *testing.T) {
+	var e Engine
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.SetContext(ctx)
+	e.Schedule(0, func() { t.Fatal("event ran after cancel") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pre-canceled Run returned")
+		}
+	}()
+	e.Run(100)
+}
+
+func TestRunWithoutContextUnchanged(t *testing.T) {
+	var e Engine
+	ran := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() { ran++ })
+	}
+	if got := e.RunAll(); got != 5 || ran != 5 {
+		t.Fatalf("RunAll = %d (ran %d), want 5", got, ran)
+	}
+}

@@ -17,8 +17,10 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
+	"jumanji/internal/chaos"
 	"jumanji/internal/core"
 	"jumanji/internal/energy"
 	"jumanji/internal/feedback"
@@ -109,6 +111,22 @@ type Config struct {
 	// concurrency-safe and deliberately shared across parallel cells — see
 	// the obs package docs — so the harness passes one Spans to every run.
 	Spans *obs.Spans
+
+	// Ctx, when non-nil, is polled at the top of every epoch; once the
+	// context is done the run panics with a *CancelError. It is how the
+	// harness's hard per-cell deadline and SIGINT handling unwind a wedged
+	// or abandoned run.
+	Ctx context.Context
+	// Chaos injects deterministic faults (internal/chaos) into the epoch
+	// loop: corrupted miss curves, over-committed placements, dropped or
+	// delayed reconfigurations. Nil (the default) injects nothing.
+	Chaos *chaos.Injector
+	// CheckInvariants runs the hardened invariant checkers every epoch —
+	// curve validity, placement capacity, finite CPI, controller saturation
+	// bounds, reconfiguration liveness — panicking with an *InvariantError
+	// on violation. Off by default: the checks exist to prove injected
+	// corruption is detected, and cost a few comparisons per app per epoch.
+	CheckInvariants bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"jumanji/internal/chaos"
 	"jumanji/internal/core"
 	"jumanji/internal/energy"
 	"jumanji/internal/feedback"
@@ -130,8 +131,10 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 	vuln := make([]float64, n)
 
 	var prevPl, pl, spare *core.Placement
+	var delayed *core.Placement // placement held back by an injected reconfig delay
 	var in *core.Input
 	for epoch := 0; epoch < epochs; epoch++ {
+		pollCtx(&cfg, epoch)
 		for _, mig := range wl.Migrations {
 			if mig.Epoch == epoch {
 				apps[mig.App].cfg.Core = mig.To
@@ -146,15 +149,39 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		// actually happens (prevForModel nil otherwise).
 		var prevForModel *core.Placement
 		reconfigured := false
-		if pl == nil || epoch%cfg.ReconfigEpochs == 0 {
+		boundary := pl == nil || epoch%cfg.ReconfigEpochs == 0
+		switch {
+		case delayed != nil:
+			// A chaos-delayed placement installs one epoch late.
+			prevPl, pl, spare = pl, delayed, prevPl
+			delayed = nil
+			prevForModel = prevPl
+			reconfigured = true
+		case boundary:
 			in = buildInput(cfg, apps, ctrls, qctrls, fixedLat, in)
+			if cfg.Chaos.Enabled() {
+				injectCurveFaults(&cfg, in, epoch)
+			}
 			// Rotate placement buffers: the placement from two
 			// reconfigurations ago is dead and becomes this epoch's scratch
 			// (the immediately previous one must survive for MovedFraction).
-			prevPl, pl, spare = pl, core.PlaceWithSpans(placer, in, spare, cfg.Spans), prevPl
-			prevForModel = prevPl
-			reconfigured = true
+			newPl := core.PlaceWithSpans(placer, in, spare, cfg.Spans)
+			if cfg.Chaos.Enabled() {
+				injectPlacementFault(&cfg, in, newPl, epoch)
+			}
+			switch {
+			case pl != nil && cfg.Chaos.Fires(chaos.ReconfigDrop, int64(epoch)):
+				// Discard the fresh placement; the stale one stays in force.
+				spare = newPl
+			case pl != nil && cfg.Chaos.Fires(chaos.ReconfigDelay, int64(epoch)):
+				delayed, spare = newPl, nil
+			default:
+				prevPl, pl, spare = pl, newPl, prevPl
+				prevForModel = prevPl
+				reconfigured = true
+			}
 		}
+		checkEpochInvariants(&cfg, in, pl, epoch, reconfigured, boundary)
 		// The span covers the whole per-epoch model step: performance and
 		// vulnerability evaluation for every app under the epoch's placement.
 		var modelSp obs.Span
@@ -175,6 +202,7 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		epochVulnW, epochVulnAcc := 0.0, 0.0
 		for i, a := range apps {
 			p := model.appPerf(a)
+			checkPerfInvariants(&cfg, epoch, a.name, p)
 			sample.AllocMB[i] = p.SizeBytes / (1 << 20)
 
 			accesses := 0.0
@@ -237,6 +265,7 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			epochVulnAcc += accesses * vuln[i]
 		}
 		modelSp.Stop()
+		checkControllerInvariants(&cfg, epoch, ctrls)
 		if epochVulnW > 0 {
 			sample.Vulnerability = epochVulnAcc / epochVulnW
 		}

@@ -21,16 +21,18 @@
 package jumanji
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
-	"time"
 
+	"jumanji/internal/chaos"
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
 	"jumanji/internal/parallel"
 	"jumanji/internal/sim"
+	"jumanji/internal/sweep"
 	"jumanji/internal/system"
 	"jumanji/internal/tailbench"
 	"jumanji/internal/topo"
@@ -173,6 +175,23 @@ type Options struct {
 	// fan-out's merge, the point where no worker holds the registry — how a
 	// live /metrics endpoint observes the single-threaded sinks safely.
 	PublishMetrics func([]obs.MetricSnapshot)
+	// Engine, when set, layers crash safety over Compare's and
+	// TailVsAllocation's fan-outs (internal/sweep): a fsync'd journal of
+	// completed cells, resume from a prior journal, keep-going failure
+	// isolation, and per-cell watchdog deadlines. A degraded run surfaces
+	// as a *sweep.RunError return. Nil is the historical zero-overhead
+	// path.
+	Engine *sweep.Engine
+	// Chaos injects deterministic simulator faults (internal/chaos) into
+	// every run; pair with CheckInvariants to verify they are caught.
+	Chaos *chaos.Injector
+	// CheckInvariants enables the per-epoch invariant suite inside runs:
+	// MRC validity, placement capacity, finite CPI, controller bounds, and
+	// reconfiguration liveness, each panicking a *system.InvariantError.
+	CheckInvariants bool
+	// Ctx, when non-nil, cancels in-flight runs (polled once per epoch and
+	// every few thousand detailed-simulator events).
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper's configuration with a run length that
@@ -216,6 +235,9 @@ func (o Options) systemConfig() system.Config {
 	cfg.Seed = o.Seed
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
 	cfg.Spans = o.Spans
+	cfg.Chaos = o.Chaos
+	cfg.CheckInvariants = o.CheckInvariants
+	cfg.Ctx = o.Ctx
 	return cfg
 }
 
@@ -435,6 +457,31 @@ func runInner(opts Options, wl Workload, d Design) (*Result, error) {
 	return convert(d, rr), nil
 }
 
+// sinks bundles the Options' observability sinks for the sweep engine.
+func (o Options) sinks() sweep.Sinks {
+	return sweep.Sinks{
+		Metrics: o.Metrics, Events: o.Events, Trace: o.Trace,
+		Spans: o.Spans, Progress: o.Progress, PublishMetrics: o.PublishMetrics,
+	}
+}
+
+// recoverSweep converts the sweep engine's control-flow panics into returned
+// errors, the public API's convention: a *sweep.RunError for a degraded run
+// (some cells failed or were skipped; the survivors are journalled and
+// merged) and a *sweep.OnlyDone after single-cell repro mode. Anything else
+// keeps propagating.
+func recoverSweep(err *error) {
+	switch r := recover().(type) {
+	case nil:
+	case *sweep.RunError:
+		*err = r
+	case *sweep.OnlyDone:
+		*err = r
+	default:
+		panic(r)
+	}
+}
+
 // Compare runs several designs over the same workload. If Static is among
 // the designs (or as the implicit baseline when absent), every result's
 // SpeedupVsStatic is filled in.
@@ -442,7 +489,9 @@ func runInner(opts Options, wl Workload, d Design) (*Result, error) {
 // The design runs are independent, so Compare fans them across
 // opts.Parallel workers; each run records into private observability sinks
 // merged back in design order, keeping output identical to a serial run.
-func Compare(opts Options, build func(Options) (Workload, error), designs ...Design) ([]*Result, error) {
+// With opts.Engine set, completed runs are journalled and a degraded sweep
+// returns a *sweep.RunError.
+func Compare(opts Options, build func(Options) (Workload, error), designs ...Design) (results []*Result, err error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -467,33 +516,28 @@ func Compare(opts Options, build func(Options) (Workload, error), designs ...Des
 		staticAt = len(jobs)
 		jobs = append(jobs, Static)
 	}
-	opts.Progress.Begin(len(jobs), parallel.Workers(min(opts.Parallel, len(jobs))))
-	cells := make([]*obs.Cell, len(jobs))
-	all := parallel.Map(opts.Parallel, len(jobs), func(i int) *Result {
-		t0 := time.Now()
-		cells[i] = obs.NewCell(opts.Metrics, opts.Events, opts.Trace)
-		co := opts
-		co.Parallel = 1
-		co.Metrics, co.Events, co.Trace = cells[i].Metrics, cells[i].Events, cells[i].Trace
-		r, err := runInner(co, wl, jobs[i])
-		if err != nil {
-			panic(err) // runInner cannot fail on an already-validated config
-		}
-		d := time.Since(t0)
-		opts.Spans.Record("harness.cell", t0, d)
-		opts.Progress.CellDone(d)
-		return r
-	})
-	for _, c := range cells {
-		if err := c.MergeInto(opts.Metrics, opts.Events, opts.Trace); err != nil {
-			return nil, err
-		}
+	names := make([]string, len(jobs))
+	for i, d := range jobs {
+		names[i] = d.String()
 	}
-	if opts.PublishMetrics != nil {
-		opts.PublishMetrics(opts.Metrics.Snapshot())
-	}
+	defer recoverSweep(&err)
+	all := sweep.Cells(opts.Engine, opts.sinks(), "compare/"+strings.Join(names, "+"),
+		opts.Seed, opts.Parallel, len(jobs),
+		func(i int, c *obs.Cell, ctx context.Context) *Result {
+			co := opts
+			co.Parallel = 1
+			co.Metrics, co.Events, co.Trace = c.Metrics, c.Events, c.Trace
+			if ctx != nil { // a nil ctx keeps any caller-installed opts.Ctx
+				co.Ctx = ctx
+			}
+			r, err := runInner(co, wl, jobs[i])
+			if err != nil {
+				panic(err) // runInner cannot fail on an already-validated config
+			}
+			return r
+		})
 	static := all[staticAt]
-	results := all[:len(designs):len(designs)]
+	results = all[:len(designs):len(designs)]
 	for _, r := range results {
 		r.SpeedupVsStatic = r.BatchWeightedSpeedup / static.BatchWeightedSpeedup
 	}

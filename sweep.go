@@ -1,10 +1,11 @@
 package jumanji
 
 import (
+	"context"
 	"fmt"
 
 	"jumanji/internal/obs"
-	"jumanji/internal/parallel"
+	"jumanji/internal/sweep"
 	"jumanji/internal/system"
 )
 
@@ -24,8 +25,10 @@ type TailPoint struct {
 // than the S-NUCA column.
 //
 // The sweep points are independent, so they fan across opts.Parallel
-// workers; per-point observability sinks merge back in sweep order.
-func TailVsAllocation(opts Options, latCrit string, allocsMB []float64) ([]TailPoint, error) {
+// workers; per-point observability sinks merge back in sweep order. With
+// opts.Engine set, completed points are journalled and a degraded sweep
+// returns a *sweep.RunError.
+func TailVsAllocation(opts Options, latCrit string, allocsMB []float64) (out []TailPoint, err error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -42,25 +45,25 @@ func TailVsAllocation(opts Options, latCrit string, allocsMB []float64) ([]TailP
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]*obs.Cell, len(allocsMB))
-	out := parallel.Map(opts.Parallel, len(allocsMB), func(i int) TailPoint {
-		cells[i] = obs.NewCell(opts.Metrics, opts.Events, opts.Trace)
-		co := opts
-		co.Metrics, co.Events, co.Trace = cells[i].Metrics, cells[i].Events, cells[i].Trace
-		cfg := co.systemConfig()
-		bytes := allocsMB[i] * (1 << 20)
-		s := system.RunFixedLat(cfg, wl, bytes, false, opts.Epochs, opts.Warmup)
-		d := system.RunFixedLat(cfg, wl, bytes, true, opts.Epochs, opts.Warmup)
-		return TailPoint{
-			AllocMB:       allocsMB[i],
-			NormTailSNUCA: s.Apps[0].NormTail,
-			NormTailDNUCA: d.Apps[0].NormTail,
-		}
-	})
-	for _, c := range cells {
-		if err := c.MergeInto(opts.Metrics, opts.Events, opts.Trace); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	defer recoverSweep(&err)
+	out = sweep.Cells(opts.Engine, opts.sinks(), "tailvsalloc/"+latCrit,
+		opts.Seed, opts.Parallel, len(allocsMB),
+		func(i int, c *obs.Cell, ctx context.Context) TailPoint {
+			co := opts
+			co.Parallel = 1
+			co.Metrics, co.Events, co.Trace = c.Metrics, c.Events, c.Trace
+			if ctx != nil {
+				co.Ctx = ctx
+			}
+			cfg := co.systemConfig()
+			bytes := allocsMB[i] * (1 << 20)
+			s := system.RunFixedLat(cfg, wl, bytes, false, opts.Epochs, opts.Warmup)
+			d := system.RunFixedLat(cfg, wl, bytes, true, opts.Epochs, opts.Warmup)
+			return TailPoint{
+				AllocMB:       allocsMB[i],
+				NormTailSNUCA: s.Apps[0].NormTail,
+				NormTailDNUCA: d.Apps[0].NormTail,
+			}
+		})
+	return out, err
 }
