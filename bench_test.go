@@ -15,6 +15,7 @@ import (
 	"jumanji/internal/core"
 	"jumanji/internal/harness"
 	"jumanji/internal/obs"
+	"jumanji/internal/obs/tsdb"
 	"jumanji/internal/system"
 )
 
@@ -304,6 +305,19 @@ func BenchmarkObsOverhead(b *testing.B) {
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Events = obs.NewEventLog(io.Discard)
 		cfg.Trace = obs.NewTrace(io.Discard)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
+		}
+	})
+	// The flight recorder on top of metrics: one registry sample per epoch
+	// (counter deltas, gauge reads, three histogram quantiles) into the
+	// ring store. Steady-state sampling allocates nothing
+	// (TestAllocGuardRecorder); this bounds its time cost per epoch.
+	b.Run("recorder", func(b *testing.B) {
+		cfg, wl := setup(b)
+		cfg.Metrics = obs.NewRegistry()
+		cfg.TS = tsdb.New(tsdb.DefaultCapacity)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)

@@ -63,15 +63,16 @@ func run() int {
 	o.Seed = *seed
 	o.Parallel = *parallel
 	o.Metrics, o.Events, o.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
+	o.TS = sinks.TS()
 	o.Spans = sinks.Spans()
 	o.Progress = status.Tracker()
 
 	// The journal fingerprint covers everything that shapes a cell's
 	// identity or its journalled sink state, so a resume against a journal
 	// written under a different protocol or sink set is refused.
-	fingerprint := fmt.Sprintf("figures|mixes=%d|epochs=%d|warmup=%d|seed=%d|metrics=%t|events=%t|trace=%t",
+	fingerprint := fmt.Sprintf("figures|mixes=%d|epochs=%d|warmup=%d|seed=%d|metrics=%t|events=%t|trace=%t|tsdb=%t",
 		o.Mixes, o.Epochs, o.Warmup, o.Seed,
-		o.Metrics != nil, o.Events != nil, o.Trace != nil)
+		o.Metrics != nil, o.Events != nil, o.Trace != nil, o.TS != nil)
 	var curArgs string // the -fig/-table flags of the sweep now running
 	repro := func(label string, cell int) string {
 		scale := ""
@@ -105,6 +106,7 @@ func run() int {
 	defer status.Close()
 	if status.Addr != "" {
 		o.PublishMetrics = status.PublishMetrics
+		o.PublishTimeseries = status.PublishTimeseries
 	}
 
 	// render runs one figure or table, absorbing the sweep engine's

@@ -65,12 +65,13 @@ func run() int {
 	opts.HighLoad = *load != "low"
 	opts.Parallel = *par
 	opts.Metrics, opts.Events, opts.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
+	opts.TS = sinks.TS()
 	opts.Spans = sinks.Spans()
 	opts.Progress = status.Tracker()
 
-	fingerprint := fmt.Sprintf("jumanji-sim|design=%s|lc=%s|load=%s|epochs=%d|warmup=%d|seed=%d|vms=%d|router=%d|metrics=%t|events=%t|trace=%t",
+	fingerprint := fmt.Sprintf("jumanji-sim|design=%s|lc=%s|load=%s|epochs=%d|warmup=%d|seed=%d|vms=%d|router=%d|metrics=%t|events=%t|trace=%t|tsdb=%t",
 		strings.ToLower(*designFlag), *lc, *load, *epochs, *warmup, *seed, *vms, *router,
-		opts.Metrics != nil, opts.Events != nil, opts.Trace != nil)
+		opts.Metrics != nil, opts.Events != nil, opts.Trace != nil, opts.TS != nil)
 	repro := func(label string, cell int) string {
 		return fmt.Sprintf("jumanji-sim -design %s -lc %s -load %s -epochs %d -warmup %d -seed %d -vms %d -router %d -cell '%s:%d'",
 			*designFlag, *lc, *load, *epochs, *warmup, *seed, *vms, *router, label, cell)
@@ -99,6 +100,7 @@ func run() int {
 	defer status.Close()
 	if status.Addr != "" {
 		opts.PublishMetrics = status.PublishMetrics
+		opts.PublishTimeseries = status.PublishTimeseries
 	}
 
 	build := workloadBuilder(*lc, *vms, *seed)

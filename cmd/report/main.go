@@ -1,0 +1,83 @@
+// Command report joins a run's recorded observability artifacts — the
+// JSONL event log (-events), the flight-recorder time-series dump (-tsdb),
+// the cell journal (-journal), and the Chrome trace file (-tracefile) —
+// into one self-contained run report: per-design SLO timelines, the
+// reconfiguration churn table, the top-k SLO-violation attributions,
+// anomaly alerts replayed over the recorded series, a span summary, and
+// the journal's cell inventory.
+//
+// The report is deterministic: every timestamp comes from the recorded
+// data (simulated epoch time), never from generation time, so the same
+// inputs produce byte-identical output (TestReportByteIdentical).
+//
+// Examples:
+//
+//	figures -fig 13 -events run.jsonl -tsdb run.ts.json
+//	report -events run.jsonl -tsdb run.ts.json -o report.html
+//	report -events run.jsonl -format md        # markdown to stdout
+//
+// Exit status: 0 on success, 1 on unreadable or malformed inputs, 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		eventsPath  = flag.String("events", "", "JSONL event log written by -events")
+		tsdbPath    = flag.String("tsdb", "", "flight-recorder dump written by -tsdb")
+		journalPath = flag.String("journal", "", "cell journal written by -journal")
+		tracePath   = flag.String("tracefile", "", "Chrome trace file written by -tracefile")
+		out         = flag.String("o", "-", "output file ('-' for stdout)")
+		format      = flag.String("format", "html", "output format: html or md")
+		topK        = flag.Int("topk", 10, "SLO-violation attributions to list")
+		title       = flag.String("title", "Jumanji run report", "report title")
+	)
+	flag.Parse()
+	if *eventsPath == "" && *tsdbPath == "" && *journalPath == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "report: no inputs; pass at least one of -events, -tsdb, -journal, -tracefile")
+		return 2
+	}
+	if *format != "html" && *format != "md" {
+		fmt.Fprintf(os.Stderr, "report: unknown -format %q (want html or md)\n", *format)
+		return 2
+	}
+
+	in, err := loadInputs(*eventsPath, *tsdbPath, *journalPath, *tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
+	rep, err := buildReport(*title, *topK, in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "md" {
+		err = renderMarkdown(w, rep)
+	} else {
+		err = renderHTML(w, rep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
+	return 0
+}

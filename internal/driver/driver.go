@@ -298,7 +298,10 @@ func (d *Driver) RunEpoch() EpochStats {
 // observeEpoch emits the epoch's driver_epoch record and trace span.
 func (d *Driver) observeEpoch(out EpochStats, pl *core.Placement) {
 	if d.cfg.Events.Enabled() {
-		ev := obs.DriverEpoch{Epoch: out.Epoch, InvalidatedLines: out.Invalidated}
+		ev := obs.DriverEpoch{
+			Epoch: out.Epoch, TimeUs: float64(out.Epoch) * driverEpochUs,
+			InvalidatedLines: out.Invalidated,
+		}
 		for i, a := range d.cfg.Apps {
 			id := core.AppID(i)
 			banks, _ := pl.BanksOf(id)

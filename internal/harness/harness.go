@@ -24,6 +24,7 @@ import (
 	"jumanji/internal/chaos"
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
+	"jumanji/internal/obs/tsdb"
 	"jumanji/internal/parallel"
 	"jumanji/internal/stats"
 	"jumanji/internal/sweep"
@@ -54,6 +55,10 @@ type Options struct {
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Trace   *obs.Trace
+	// TS is the flight-recorder time-series store (internal/obs/tsdb): with
+	// Metrics also set, every run samples its registry into TS once per
+	// epoch. Shared and merged exactly like the sinks above.
+	TS *tsdb.DB
 	// Spans, when set, times simulator phases (placement, epoch model,
 	// per-cell execution) on the wall clock. Unlike the sinks above it is
 	// concurrency-safe, so one Spans is shared by every cell as-is rather
@@ -68,6 +73,10 @@ type Options struct {
 	// registry — so a live /metrics endpoint can serve a consistent copy
 	// mid-run without racing the single-threaded sinks.
 	PublishMetrics func([]obs.MetricSnapshot)
+	// PublishTimeseries is PublishMetrics's analogue for TS: a fresh dump
+	// of the merged store after each figure's cell merge, feeding the
+	// /timeseries and /stream endpoints.
+	PublishTimeseries func([]tsdb.SeriesData)
 	// Engine, when set, layers crash safety over every cell fan-out: the
 	// journal/resume protocol, keep-going failure isolation, per-cell
 	// watchdog deadlines, and single-cell repro mode (internal/sweep). Nil
@@ -110,6 +119,7 @@ func (o Options) validate() {
 func (o Options) systemConfig() system.Config {
 	cfg := system.DefaultConfig()
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
+	cfg.TS = o.TS
 	cfg.Spans = o.Spans
 	cfg.Chaos = o.Chaos
 	cfg.CheckInvariants = o.CheckInvariants
@@ -162,14 +172,15 @@ func loadLabel(high bool) string {
 // historical zero-overhead fan-out.
 func runCells[T any](o Options, label string, n int, cell func(i int, co Options) T) []T {
 	s := sweep.Sinks{
-		Metrics: o.Metrics, Events: o.Events, Trace: o.Trace,
-		Spans: o.Spans, Progress: o.Progress, PublishMetrics: o.PublishMetrics,
+		Metrics: o.Metrics, Events: o.Events, Trace: o.Trace, TS: o.TS,
+		Spans: o.Spans, Progress: o.Progress,
+		PublishMetrics: o.PublishMetrics, PublishTimeseries: o.PublishTimeseries,
 	}
 	return sweep.Cells(o.Engine, s, label, o.Seed, o.Parallel, n,
 		func(i int, c *obs.Cell, ctx context.Context) T {
 			co := o
 			co.Parallel = 1 // cells never nest fan-out
-			co.Metrics, co.Events, co.Trace = c.Metrics, c.Events, c.Trace
+			co.Metrics, co.Events, co.Trace, co.TS = c.Metrics, c.Events, c.Trace, c.TS
 			if ctx != nil { // a nil ctx keeps any caller-installed o.Ctx
 				co.Ctx = ctx
 			}

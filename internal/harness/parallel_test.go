@@ -3,10 +3,12 @@ package harness
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
+	"jumanji/internal/obs/tsdb"
 )
 
 // renderAll13And14 runs Fig. 13 and Fig. 14 and returns their rendered text.
@@ -36,16 +38,17 @@ func TestParallelEquivalence(t *testing.T) {
 }
 
 // TestParallelSinksEquivalence extends the guarantee to the observability
-// sinks: metrics text, the JSONL decision log, and the Chrome trace must all
-// be byte-identical between serial and fanned runs, because cells record
-// into private sinks merged back in cell order.
+// sinks: metrics text, the JSONL decision log, the Chrome trace, and the
+// flight-recorder dump must all be byte-identical between serial and fanned
+// runs, because cells record into private sinks merged back in cell order.
 func TestParallelSinksEquivalence(t *testing.T) {
-	run := func(parallel int) (metrics, events, trace string) {
+	run := func(parallel int) (metrics, events, trace, ts string) {
 		var evBuf, trBuf bytes.Buffer
 		o := Options{Mixes: 2, Epochs: 10, Warmup: 3, Seed: 1, Parallel: parallel}
 		o.Metrics = obs.NewRegistry()
 		o.Events = obs.NewEventLog(&evBuf)
 		o.Trace = obs.NewTrace(&trBuf)
+		o.TS = tsdb.New(tsdb.DefaultCapacity)
 		Fig5(o)
 		if err := o.Events.Err(); err != nil {
 			t.Fatalf("parallel=%d: event log error: %v", parallel, err)
@@ -57,10 +60,14 @@ func TestParallelSinksEquivalence(t *testing.T) {
 		if err := o.Metrics.WriteText(&mBuf); err != nil {
 			t.Fatalf("parallel=%d: metrics: %v", parallel, err)
 		}
-		return mBuf.String(), evBuf.String(), trBuf.String()
+		var tsBuf bytes.Buffer
+		if err := o.TS.Write(&tsBuf); err != nil {
+			t.Fatalf("parallel=%d: tsdb: %v", parallel, err)
+		}
+		return mBuf.String(), evBuf.String(), trBuf.String(), tsBuf.String()
 	}
-	m1, e1, t1 := run(1)
-	m4, e4, t4 := run(4)
+	m1, e1, t1, ts1 := run(1)
+	m4, e4, t4, ts4 := run(4)
 	if m1 != m4 {
 		t.Errorf("metrics differ between parallel=1 and parallel=4:\n%s\nvs\n%s", m1, m4)
 	}
@@ -70,8 +77,16 @@ func TestParallelSinksEquivalence(t *testing.T) {
 	if t1 != t4 {
 		t.Errorf("traces differ between parallel=1 and parallel=4")
 	}
+	if ts1 != ts4 {
+		t.Errorf("tsdb dumps differ between parallel=1 and parallel=4")
+	}
 	if e1 == "" || t1 == "" {
 		t.Fatal("sinks recorded nothing")
+	}
+	if db, err := tsdb.Read(strings.NewReader(ts4)); err != nil {
+		t.Errorf("merged tsdb dump fails to read back: %v", err)
+	} else if db.NumSeries() == 0 {
+		t.Error("flight recorder recorded no series")
 	}
 	if _, err := obs.ValidateEventLog([]byte(e4)); err != nil {
 		t.Errorf("merged event log fails validation: %v", err)

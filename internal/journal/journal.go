@@ -31,6 +31,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -191,6 +192,29 @@ func (l *Log) Len() int {
 		return 0
 	}
 	return len(l.cells)
+}
+
+// Keys lists the journalled cells sorted by label, then cell index, then
+// seed — the deterministic order offline consumers (cmd/report) iterate in.
+func (l *Log) Keys() []Key {
+	if l == nil {
+		return nil
+	}
+	keys := make([]Key, 0, len(l.cells))
+	for k := range l.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		return a.Seed < b.Seed
+	})
+	return keys
 }
 
 // Writer appends fsync'd cell records. Append is safe for concurrent use —

@@ -1,6 +1,10 @@
 package obs
 
-import "bytes"
+import (
+	"bytes"
+
+	"jumanji/internal/obs/tsdb"
+)
 
 // Cell is one worker cell's private set of observability sinks. The
 // parallel experiment engine cannot hand concurrent runs the user's shared
@@ -17,15 +21,20 @@ type Cell struct {
 	Metrics *Registry
 	Events  *EventLog
 	Trace   *Trace
+	// TS is the cell's private flight-recorder store, mirroring the user's
+	// (same per-series capacity). Merging appends the cell's samples in
+	// series registration order, so, like the other sinks, a parallel run's
+	// merged store dumps byte-identically to a serial run's.
+	TS *tsdb.DB
 
 	eventsBuf *bytes.Buffer
 }
 
 // NewCell returns private sinks mirroring the enabled ones among the user's
-// metrics/events/trace. The cell's EventLog writes into an in-memory buffer
-// replayed at merge time; its Trace accumulates events for lane-remapped
-// merging and is never Closed.
-func NewCell(metrics *Registry, events *EventLog, trace *Trace) *Cell {
+// metrics/events/trace/ts. The cell's EventLog writes into an in-memory
+// buffer replayed at merge time; its Trace accumulates events for
+// lane-remapped merging and is never Closed.
+func NewCell(metrics *Registry, events *EventLog, trace *Trace, ts *tsdb.DB) *Cell {
 	c := &Cell{}
 	if metrics != nil {
 		c.Metrics = NewRegistry()
@@ -37,6 +46,9 @@ func NewCell(metrics *Registry, events *EventLog, trace *Trace) *Cell {
 	if trace != nil {
 		c.Trace = NewTrace(nil)
 	}
+	if ts != nil {
+		c.TS = tsdb.New(ts.Cap())
+	}
 	return c
 }
 
@@ -44,12 +56,13 @@ func NewCell(metrics *Registry, events *EventLog, trace *Trace) *Cell {
 // cells in index order exactly once; the first event-log error (from this
 // or an earlier append) is returned, matching EventLog's poison-on-error
 // convention.
-func (c *Cell) MergeInto(metrics *Registry, events *EventLog, trace *Trace) error {
+func (c *Cell) MergeInto(metrics *Registry, events *EventLog, trace *Trace, ts *tsdb.DB) error {
 	if c == nil {
 		return nil
 	}
 	metrics.Merge(c.Metrics)
 	trace.Merge(c.Trace)
+	ts.Merge(c.TS)
 	if c.eventsBuf != nil {
 		return events.AppendJSONL(c.eventsBuf.Bytes())
 	}

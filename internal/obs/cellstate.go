@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"jumanji/internal/obs/tsdb"
 )
 
 // MetricState is one metric's full internal state — unlike MetricSnapshot it
@@ -31,6 +33,7 @@ type CellState struct {
 	Metrics      []MetricState
 	Events       []byte // the cell's JSONL event-log bytes, verbatim
 	Trace        []byte // the cell's trace events as a JSON array
+	TS           []byte // the cell's tsdb dump (versioned JSON, carries capacity)
 	TraceNextPid int
 }
 
@@ -55,6 +58,13 @@ func (c *Cell) State() (CellState, error) {
 		}
 		st.Trace = b
 		st.TraceNextPid = c.Trace.nextPid
+	}
+	if c.TS != nil {
+		var buf bytes.Buffer
+		if err := c.TS.Write(&buf); err != nil {
+			return CellState{}, fmt.Errorf("obs: encoding cell tsdb: %w", err)
+		}
+		st.TS = buf.Bytes()
 	}
 	return st, nil
 }
@@ -121,6 +131,13 @@ func CellFromState(st CellState) (*Cell, error) {
 			t.nextPid = st.TraceNextPid
 		}
 		c.Trace = t
+	}
+	if st.TS != nil {
+		db, err := tsdb.Read(bytes.NewReader(st.TS))
+		if err != nil {
+			return nil, fmt.Errorf("obs: decoding cell tsdb: %w", err)
+		}
+		c.TS = db
 	}
 	return c, nil
 }

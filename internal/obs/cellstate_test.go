@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"testing"
 	"time"
+
+	"jumanji/internal/obs/tsdb"
 )
 
 // populate writes a representative mix of metrics, events, and trace
@@ -24,6 +26,10 @@ func populate(c *Cell) {
 	})
 	c.Events.EmitRunEnd(RunEnd{Design: "jumanji", WorstNormTail: 1.02, BatchWeightedSpeedup: 1.1})
 
+	c.TS.Append("system.epochs", 0, 1)
+	c.TS.Append("system.epochs", 1, 1)
+	c.TS.Append("system.lat_norm.p95", 1, 0.9)
+
 	lane := c.Trace.Lane("jumanji")
 	c.Trace.Span(lane, 0, "epoch", "epoch", 0, 100000, map[string]any{"epoch": 0, "vulnerability": 0.125})
 	c.Trace.Instant(lane, 0, "reconfigure", 100000, map[string]any{"moved_fraction_max": 0.2})
@@ -32,13 +38,14 @@ func populate(c *Cell) {
 
 // mergeAll folds a cell into fresh user sinks and renders everything to
 // bytes, the same way the CLIs do.
-func mergeAll(t *testing.T, c *Cell) (metrics, events, trace string) {
+func mergeAll(t *testing.T, c *Cell) (metrics, events, trace, ts string) {
 	t.Helper()
 	reg := NewRegistry()
 	var evBuf, trBuf bytes.Buffer
 	ev := NewEventLog(&evBuf)
 	tr := NewTrace(&trBuf)
-	if err := c.MergeInto(reg, ev, tr); err != nil {
+	db := tsdb.New(64)
+	if err := c.MergeInto(reg, ev, tr, db); err != nil {
 		t.Fatal(err)
 	}
 	var regBuf bytes.Buffer
@@ -48,14 +55,18 @@ func mergeAll(t *testing.T, c *Cell) (metrics, events, trace string) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	return regBuf.String(), evBuf.String(), trBuf.String()
+	var tsBuf bytes.Buffer
+	if err := db.Write(&tsBuf); err != nil {
+		t.Fatal(err)
+	}
+	return regBuf.String(), evBuf.String(), trBuf.String(), tsBuf.String()
 }
 
 // The journal's core guarantee: a cell snapshotted, gob-encoded (as the
 // journal stores it), decoded, and rebuilt merges byte-identically to the
 // original cell.
 func TestCellStateRoundTripByteIdentical(t *testing.T) {
-	orig := NewCell(NewRegistry(), NewEventLog(&bytes.Buffer{}), NewTrace(nil))
+	orig := NewCell(NewRegistry(), NewEventLog(&bytes.Buffer{}), NewTrace(nil), tsdb.New(64))
 	populate(orig)
 
 	st, err := orig.State()
@@ -75,8 +86,8 @@ func TestCellStateRoundTripByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	m1, e1, t1 := mergeAll(t, orig)
-	m2, e2, t2 := mergeAll(t, replayed)
+	m1, e1, t1, s1 := mergeAll(t, orig)
+	m2, e2, t2, s2 := mergeAll(t, replayed)
 	if m1 != m2 {
 		t.Errorf("metrics diverge:\noriginal:\n%s\nreplayed:\n%s", m1, m2)
 	}
@@ -86,15 +97,21 @@ func TestCellStateRoundTripByteIdentical(t *testing.T) {
 	if t1 != t2 {
 		t.Errorf("trace diverges:\noriginal:\n%s\nreplayed:\n%s", t1, t2)
 	}
+	if s1 != s2 {
+		t.Errorf("tsdb diverges:\noriginal:\n%s\nreplayed:\n%s", s1, s2)
+	}
 	if m1 == "" || e1 == "" {
 		t.Fatal("test exercised empty sinks")
+	}
+	if replayed.TS.Lookup("system.epochs").Len() != 2 {
+		t.Fatal("replayed tsdb lost samples")
 	}
 }
 
 // A replayed cell must preserve exact counter integers (beyond float64
 // precision) and the gauge set flag.
 func TestCellStateLossless(t *testing.T) {
-	c := NewCell(NewRegistry(), nil, nil)
+	c := NewCell(NewRegistry(), nil, nil, nil)
 	const big = uint64(1)<<60 + 3
 	c.Metrics.Counter("huge").Add(big)
 	c.Metrics.Gauge("unset")
@@ -121,7 +138,7 @@ func TestCellStateLossless(t *testing.T) {
 
 func TestCellStateDisabledSinks(t *testing.T) {
 	// A fully disabled cell round-trips to a cell that merges as a no-op.
-	c := NewCell(nil, nil, nil)
+	c := NewCell(nil, nil, nil, nil)
 	st, err := c.State()
 	if err != nil {
 		t.Fatal(err)
@@ -130,10 +147,10 @@ func TestCellStateDisabledSinks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Metrics != nil || back.Trace != nil || back.eventsBuf != nil {
+	if back.Metrics != nil || back.Trace != nil || back.eventsBuf != nil || back.TS != nil {
 		t.Fatal("disabled sinks resurrected")
 	}
-	if err := back.MergeInto(nil, nil, nil); err != nil {
+	if err := back.MergeInto(nil, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -152,6 +169,9 @@ func TestCellStateRejectsCorruptMetrics(t *testing.T) {
 	}
 	if _, err := CellFromState(CellState{Trace: []byte("not json")}); err == nil {
 		t.Fatal("corrupt trace bytes must be rejected")
+	}
+	if _, err := CellFromState(CellState{TS: []byte("not json")}); err == nil {
+		t.Fatal("corrupt tsdb bytes must be rejected")
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"jumanji/internal/obs/tsdb"
 )
 
 // CLI bundles the standard observability flags shared by the commands
@@ -25,6 +27,7 @@ type CLI struct {
 	EventsPath  string
 	TracePath   string
 	MetricsPath string
+	TSDBPath    string
 	CPUProfile  string
 	MemProfile  string
 	SpansOn     bool
@@ -32,6 +35,7 @@ type CLI struct {
 	registry *Registry
 	events   *EventLog
 	trace    *Trace
+	ts       *tsdb.DB
 	spans    *Spans
 	files    []*os.File
 	cpuOn    bool
@@ -42,6 +46,7 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.EventsPath, "events", "", "write the JSONL epoch decision log to this file")
 	fs.StringVar(&c.TracePath, "tracefile", "", "write a Chrome trace-event file (loadable in Perfetto) to this path")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "dump the metric registry as text to this file after the run, or '-' for stderr")
+	fs.StringVar(&c.TSDBPath, "tsdb", "", "record per-epoch metric time series (flight recorder) and dump them as JSON to this file; implies metric collection")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 	fs.BoolVar(&c.SpansOn, "spans", false, "time simulator phases on the wall clock; summary to stderr at exit (implied by -status)")
@@ -73,8 +78,13 @@ func (c *CLI) Open() error {
 		}
 		c.trace = NewTrace(f)
 	}
-	if c.MetricsPath != "" {
+	if c.MetricsPath != "" || c.TSDBPath != "" {
+		// The flight recorder samples the registry, so -tsdb forces one on
+		// even without -metrics.
 		c.registry = NewRegistry()
+	}
+	if c.TSDBPath != "" {
+		c.ts = tsdb.New(tsdb.DefaultCapacity)
 	}
 	if c.SpansOn {
 		c.spans = NewSpans()
@@ -105,6 +115,9 @@ func (c *CLI) Events() *EventLog { return c.events }
 
 // Trace returns the trace sink (nil when -tracefile is unset).
 func (c *CLI) Trace() *Trace { return c.trace }
+
+// TS returns the flight-recorder store (nil when -tsdb is unset).
+func (c *CLI) TS() *tsdb.DB { return c.ts }
 
 // Spans returns the phase timers (nil when -spans is unset).
 func (c *CLI) Spans() *Spans { return c.spans }
@@ -141,7 +154,14 @@ func (c *CLI) Close() error {
 	if c.events != nil {
 		keep(c.events.Err())
 	}
-	if c.registry != nil {
+	if c.ts != nil {
+		if f, err := c.create(c.TSDBPath); err != nil {
+			keep(err)
+		} else {
+			keep(c.ts.Write(f))
+		}
+	}
+	if c.registry != nil && c.MetricsPath != "" {
 		if c.MetricsPath == "-" {
 			keep(c.registry.WriteText(os.Stderr))
 		} else if f, err := c.create(c.MetricsPath); err != nil {

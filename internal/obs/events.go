@@ -10,19 +10,25 @@ import (
 // SchemaVersion is stamped into every decision-log record as "v". Bump it
 // whenever a payload struct changes incompatibly; ValidateEvent rejects
 // records from other versions.
-const SchemaVersion = 1
+//
+// v2: epoch and driver_epoch records gained a monotonic simulated
+// timestamp (time_us), epoch records gained worst_lat_norm, and the
+// slo_violation and reconfig_churn attribution records were added.
+const SchemaVersion = 2
 
 // Event types, one per payload struct. Every JSONL record is an envelope
 //
-//	{"v":1, "seq":N, "type":"<type>", "data":{...}}
+//	{"v":2, "seq":N, "type":"<type>", "data":{...}}
 //
 // where data's shape is fixed by the type (see the payload structs below
 // and the "Observability" section of README.md).
 const (
-	TypeRunStart    = "run_start"
-	TypeEpoch       = "epoch"
-	TypeDriverEpoch = "driver_epoch"
-	TypeRunEnd      = "run_end"
+	TypeRunStart      = "run_start"
+	TypeEpoch         = "epoch"
+	TypeSLOViolation  = "slo_violation"
+	TypeReconfigChurn = "reconfig_churn"
+	TypeDriverEpoch   = "driver_epoch"
+	TypeRunEnd        = "run_end"
 )
 
 // AppInfo describes one application in a run_start record.
@@ -72,13 +78,67 @@ type PlacementChange struct {
 }
 
 // Epoch is one analytic-model epoch's decisions and observables. Actions
-// and Placement are present only on epochs where the placer ran.
+// and Placement are present only on epochs where the placer ran. TimeUs
+// is the epoch's start on the run's simulated clock in microseconds
+// (epoch × EpochSeconds) — monotonic within a run and deterministic, so
+// reports can align epoch records with trace timelines without host
+// wall-clock leaking into the log. WorstLatNorm is the epoch's worst
+// latency-critical mean latency over its deadline (0 with no samples).
 type Epoch struct {
 	Epoch         int                `json:"epoch"`
+	TimeUs        float64            `json:"time_us"`
 	Reconfigured  bool               `json:"reconfigured"`
 	Actions       []ControllerAction `json:"actions,omitempty"`
 	Placement     []PlacementChange  `json:"placement,omitempty"`
 	Vulnerability float64            `json:"vulnerability"`
+	WorstLatNorm  float64            `json:"worst_lat_norm"`
+}
+
+// LatencyBreakdown splits one application's mean request latency into the
+// model's additive components, all in core cycles per request: the
+// out-of-cache base cost, LLC bank access, NoC traversal to the
+// placement's banks, main-memory misses, and (for latency-critical
+// applications) time spent queued behind other requests.
+type LatencyBreakdown struct {
+	BaseCycles  float64 `json:"base_cycles"`
+	BankCycles  float64 `json:"bank_cycles"`
+	NoCCycles   float64 `json:"noc_cycles"`
+	MemCycles   float64 `json:"mem_cycles"`
+	QueueCycles float64 `json:"queue_cycles"`
+}
+
+// SLOViolation attributes one latency-critical application's blown
+// deadline in one epoch: how far over (LatNorm, negative SlackCycles),
+// what the allocation was, and which latency component dominated —
+// the "why" behind a point on the SLO timeline. Dominant names the
+// largest memory-system component (bank | noc | mem | queue); the base
+// CPI is reported but never dominates, since no cache design can
+// reclaim it.
+type SLOViolation struct {
+	Epoch       int              `json:"epoch"`
+	TimeUs      float64          `json:"time_us"`
+	App         int              `json:"app"`
+	Name        string           `json:"name"`
+	Design      string           `json:"design"`
+	LatNorm     float64          `json:"lat_norm"`
+	SlackCycles float64          `json:"slack_cycles"`
+	AllocBytes  float64          `json:"alloc_bytes"`
+	Breakdown   LatencyBreakdown `json:"breakdown"`
+	Dominant    string           `json:"dominant"` // bank | noc | mem | queue
+}
+
+// ReconfigChurn summarizes one reconfiguration's data movement: the worst
+// per-app moved fraction, the total bytes whose bank home changed (and
+// the cache lines the Sec. IV-A coherence walk invalidated for them), how
+// many applications moved at all, and why the placer ran.
+type ReconfigChurn struct {
+	Epoch            int     `json:"epoch"`
+	TimeUs           float64 `json:"time_us"`
+	Cause            string  `json:"cause"` // initial | periodic | delayed
+	MaxMovedFraction float64 `json:"max_moved_fraction"`
+	MovedBytes       float64 `json:"moved_bytes"`
+	InvalidatedLines float64 `json:"invalidated_lines"`
+	AppsMoved        int     `json:"apps_moved"`
 }
 
 // VTBInstall records one virtual cache's descriptor install in the
@@ -114,9 +174,12 @@ type DriverAppStats struct {
 
 // DriverEpoch is one detailed (trace-driven) epoch: the placement installed
 // into the VTB and way masks, the coherence walk's cost, the UMON-measured
-// curves the placement was computed from, and the measured outcome.
+// curves the placement was computed from, and the measured outcome. TimeUs
+// is the epoch's start on the driver's simulated clock in microseconds,
+// with the same monotonicity contract as Epoch.TimeUs.
 type DriverEpoch struct {
 	Epoch            int              `json:"epoch"`
+	TimeUs           float64          `json:"time_us"`
 	InvalidatedLines int              `json:"invalidated_lines"`
 	Installs         []VTBInstall     `json:"installs"`
 	UMON             []UMONSnapshot   `json:"umon,omitempty"`
@@ -221,6 +284,12 @@ func (l *EventLog) EmitRunStart(r RunStart) { l.emit(TypeRunStart, r) }
 // EmitEpoch writes an epoch record.
 func (l *EventLog) EmitEpoch(e Epoch) { l.emit(TypeEpoch, e) }
 
+// EmitSLOViolation writes a slo_violation record.
+func (l *EventLog) EmitSLOViolation(v SLOViolation) { l.emit(TypeSLOViolation, v) }
+
+// EmitReconfigChurn writes a reconfig_churn record.
+func (l *EventLog) EmitReconfigChurn(c ReconfigChurn) { l.emit(TypeReconfigChurn, c) }
+
 // EmitDriverEpoch writes a driver_epoch record.
 func (l *EventLog) EmitDriverEpoch(e DriverEpoch) { l.emit(TypeDriverEpoch, e) }
 
@@ -268,6 +337,9 @@ func ValidateEvent(line []byte) (string, error) {
 		if e.Epoch < 0 {
 			return env.Type, fmt.Errorf("obs: negative epoch %d", e.Epoch)
 		}
+		if e.TimeUs < 0 || e.TimeUs != e.TimeUs {
+			return env.Type, fmt.Errorf("obs: epoch %d has invalid time_us %v", e.Epoch, e.TimeUs)
+		}
 		if !e.Reconfigured && (len(e.Actions) > 0 || len(e.Placement) > 0) {
 			return env.Type, fmt.Errorf("obs: epoch %d has decisions without a reconfiguration", e.Epoch)
 		}
@@ -278,12 +350,42 @@ func ValidateEvent(line []byte) (string, error) {
 				return env.Type, fmt.Errorf("obs: epoch %d app %d has unknown action %q", e.Epoch, a.App, a.Action)
 			}
 		}
+	case TypeSLOViolation:
+		var v SLOViolation
+		if err := strict(&v); err != nil {
+			return env.Type, fmt.Errorf("obs: bad slo_violation: %w", err)
+		}
+		if v.Epoch < 0 || v.TimeUs < 0 || v.Name == "" || v.Design == "" {
+			return env.Type, fmt.Errorf("obs: slo_violation malformed: %+v", v)
+		}
+		if !(v.LatNorm > 1) {
+			return env.Type, fmt.Errorf("obs: slo_violation epoch %d app %d with lat_norm %v not over deadline", v.Epoch, v.App, v.LatNorm)
+		}
+		switch v.Dominant {
+		case "bank", "noc", "mem", "queue":
+		default:
+			return env.Type, fmt.Errorf("obs: slo_violation epoch %d app %d has unknown dominant component %q", v.Epoch, v.App, v.Dominant)
+		}
+	case TypeReconfigChurn:
+		var c ReconfigChurn
+		if err := strict(&c); err != nil {
+			return env.Type, fmt.Errorf("obs: bad reconfig_churn: %w", err)
+		}
+		if c.Epoch < 0 || c.TimeUs < 0 || c.MaxMovedFraction < 0 || c.MaxMovedFraction > 1 ||
+			c.MovedBytes < 0 || c.InvalidatedLines < 0 || c.AppsMoved < 0 {
+			return env.Type, fmt.Errorf("obs: reconfig_churn malformed: %+v", c)
+		}
+		switch c.Cause {
+		case "initial", "periodic", "delayed":
+		default:
+			return env.Type, fmt.Errorf("obs: reconfig_churn epoch %d has unknown cause %q", c.Epoch, c.Cause)
+		}
 	case TypeDriverEpoch:
 		var e DriverEpoch
 		if err := strict(&e); err != nil {
 			return env.Type, fmt.Errorf("obs: bad driver_epoch: %w", err)
 		}
-		if e.Epoch < 0 || e.InvalidatedLines < 0 || len(e.Apps) == 0 {
+		if e.Epoch < 0 || e.TimeUs < 0 || e.InvalidatedLines < 0 || len(e.Apps) == 0 {
 			return env.Type, fmt.Errorf("obs: driver_epoch %d malformed", e.Epoch)
 		}
 		for _, u := range e.UMON {
@@ -320,4 +422,38 @@ func ValidateEventLog(data []byte) (map[string]int, error) {
 		counts[typ]++
 	}
 	return counts, nil
+}
+
+// Event is one decoded event-log record: the envelope's sequence number
+// and type, with the payload left raw for the consumer to unmarshal into
+// the matching struct (RunStart, Epoch, SLOViolation, ...).
+type Event struct {
+	Seq  uint64
+	Type string
+	Data json.RawMessage
+}
+
+// DecodeEventLog parses a JSONL event log into decoded envelopes for
+// offline consumers (cmd/report). It rejects unknown schema versions and
+// malformed lines but does not re-validate payloads; run ValidateEventLog
+// first when provenance is untrusted.
+func DecodeEventLog(data []byte) ([]Event, error) {
+	var out []Event
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", i+1, err)
+		}
+		if env.V != SchemaVersion {
+			return nil, fmt.Errorf("obs: event log line %d has schema v%d; this build reads v%d", i+1, env.V, SchemaVersion)
+		}
+		if env.Type == "" {
+			return nil, fmt.Errorf("obs: event log line %d has no type", i+1)
+		}
+		out = append(out, Event{Seq: env.Seq, Type: env.Type, Data: env.Data})
+	}
+	return out, nil
 }

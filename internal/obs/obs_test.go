@@ -150,7 +150,17 @@ func TestEventLogRoundTrip(t *testing.T) {
 		},
 		Vulnerability: 1.5,
 	})
-	l.EmitEpoch(Epoch{Epoch: 1, Vulnerability: 1.2})
+	l.EmitEpoch(Epoch{Epoch: 1, TimeUs: 1e5, Vulnerability: 1.2, WorstLatNorm: 0.8})
+	l.EmitSLOViolation(SLOViolation{
+		Epoch: 1, TimeUs: 1e5, App: 0, Name: "xapian", Design: "Jumanji",
+		LatNorm: 1.3, SlackCycles: -1500, AllocBytes: 1 << 20,
+		Breakdown: LatencyBreakdown{BaseCycles: 900, BankCycles: 100, NoCCycles: 40, MemCycles: 300, QueueCycles: 2000},
+		Dominant:  "queue",
+	})
+	l.EmitReconfigChurn(ReconfigChurn{
+		Epoch: 1, TimeUs: 1e5, Cause: "periodic",
+		MaxMovedFraction: 0.25, MovedBytes: 1 << 19, InvalidatedLines: 1 << 13, AppsMoved: 2,
+	})
 	l.EmitRunEnd(RunEnd{Design: "Jumanji", WorstNormTail: 0.9, BatchWeightedSpeedup: 12.2})
 	if err := l.Err(); err != nil {
 		t.Fatal(err)
@@ -160,7 +170,7 @@ func TestEventLogRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("emitted log fails its own schema: %v", err)
 	}
-	want := map[string]int{TypeRunStart: 1, TypeEpoch: 2, TypeRunEnd: 1}
+	want := map[string]int{TypeRunStart: 1, TypeEpoch: 2, TypeSLOViolation: 1, TypeReconfigChurn: 1, TypeRunEnd: 1}
 	for k, n := range want {
 		if counts[k] != n {
 			t.Fatalf("%s count = %d, want %d", k, counts[k], n)
@@ -192,12 +202,18 @@ func TestValidateEventRejections(t *testing.T) {
 	}{
 		{"not json", `{{`},
 		{"wrong version", `{"v":99,"seq":1,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
-		{"zero seq", `{"v":1,"seq":0,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
-		{"unknown type", `{"v":1,"seq":1,"type":"mystery","data":{}}`},
-		{"unknown payload field", `{"v":1,"seq":1,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0,"extra":1}}`},
-		{"empty design", `{"v":1,"seq":1,"type":"run_end","data":{"worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
-		{"bad action", `{"v":1,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":true,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"explode"}],"vulnerability":0}}`},
-		{"actions without reconfig", `{"v":1,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":false,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"hold"}],"vulnerability":0}}`},
+		{"zero seq", `{"v":2,"seq":0,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
+		{"unknown type", `{"v":2,"seq":1,"type":"mystery","data":{}}`},
+		{"unknown payload field", `{"v":2,"seq":1,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0,"extra":1}}`},
+		{"empty design", `{"v":2,"seq":1,"type":"run_end","data":{"worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
+		{"bad action", `{"v":2,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":true,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"explode"}],"vulnerability":0}}`},
+		{"actions without reconfig", `{"v":2,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":false,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"hold"}],"vulnerability":0}}`},
+		{"pre-timestamp epoch (v1 shape)", `{"v":1,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":false,"vulnerability":0}}`},
+		{"negative time_us", `{"v":2,"seq":1,"type":"epoch","data":{"epoch":0,"time_us":-1,"reconfigured":false,"vulnerability":0,"worst_lat_norm":0}}`},
+		{"slo_violation under deadline", `{"v":2,"seq":1,"type":"slo_violation","data":{"epoch":0,"time_us":0,"app":0,"name":"x","design":"d","lat_norm":0.9,"slack_cycles":1,"alloc_bytes":1,"breakdown":{"base_cycles":0,"bank_cycles":0,"noc_cycles":0,"mem_cycles":0,"queue_cycles":0},"dominant":"mem"}}`},
+		{"slo_violation bad dominant", `{"v":2,"seq":1,"type":"slo_violation","data":{"epoch":0,"time_us":0,"app":0,"name":"x","design":"d","lat_norm":1.5,"slack_cycles":-1,"alloc_bytes":1,"breakdown":{"base_cycles":0,"bank_cycles":0,"noc_cycles":0,"mem_cycles":0,"queue_cycles":0},"dominant":"cosmic-rays"}}`},
+		{"reconfig_churn bad cause", `{"v":2,"seq":1,"type":"reconfig_churn","data":{"epoch":0,"time_us":0,"cause":"boredom","max_moved_fraction":0,"moved_bytes":0,"invalidated_lines":0,"apps_moved":0}}`},
+		{"reconfig_churn moved over 1", `{"v":2,"seq":1,"type":"reconfig_churn","data":{"epoch":0,"time_us":0,"cause":"periodic","max_moved_fraction":1.5,"moved_bytes":0,"invalidated_lines":0,"apps_moved":0}}`},
 	}
 	for _, tc := range bad {
 		if _, err := ValidateEvent([]byte(tc.line)); err == nil {

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+
+	"jumanji/internal/obs/tsdb"
+)
+
+// Recorder samples a Registry into a tsdb.DB once per epoch: counters
+// become per-epoch delta series (under the counter's own name), gauges
+// become value series, and histograms become .p50/.p95/.p99 quantile
+// series computed over each epoch's *new* observations (bin deltas), so
+// the timeline shows the epoch's distribution rather than the run's
+// cumulative one.
+//
+// The recorder is as deterministic as the registry feeding it, and its
+// steady state allocates nothing: bindings (series handles plus previous
+// counter/bin state) are built once per metric, on the first Sample after
+// the metric appears (TestAllocGuardRecorder).
+type Recorder struct {
+	reg      *Registry
+	db       *tsdb.DB
+	seen     int // prefix of reg.order already bound
+	bindings []recBinding
+}
+
+type recBinding struct {
+	counter *Counter
+	prevN   uint64
+
+	gauge *Gauge
+
+	hist      *Histogram
+	prevBins  []uint64
+	prevCount uint64
+
+	s, p50, p95, p99 *tsdb.Series
+}
+
+// NewRecorder binds every metric currently in reg, with deltas measured
+// from the metrics' *current* values — so a registry shared across
+// sequential runs in one cell starts each run's timeline at zero, not at
+// the previous run's totals. Metrics registered later bind on the next
+// Sample with a zero baseline. Returns nil (a no-op recorder) unless both
+// the registry and the store are enabled.
+func NewRecorder(reg *Registry, db *tsdb.DB) *Recorder {
+	if reg == nil || db == nil {
+		return nil
+	}
+	r := &Recorder{reg: reg, db: db}
+	r.bind(true)
+	return r
+}
+
+// bind creates bindings for any registry entries not yet bound. baseline
+// controls whether counters and histograms start their deltas from the
+// current value (run start) or from zero (appeared mid-run).
+func (r *Recorder) bind(baseline bool) {
+	for _, name := range r.reg.order[r.seen:] {
+		b := recBinding{}
+		switch m := r.reg.byName[name].(type) {
+		case *Counter:
+			b.counter = m
+			b.s = r.db.Series(name)
+			if baseline {
+				b.prevN = m.n
+			}
+		case *Gauge:
+			b.gauge = m
+			b.s = r.db.Series(name)
+		case *Histogram:
+			b.hist = m
+			b.prevBins = make([]uint64, len(m.bins))
+			b.p50 = r.db.Series(name + ".p50")
+			b.p95 = r.db.Series(name + ".p95")
+			b.p99 = r.db.Series(name + ".p99")
+			if baseline {
+				copy(b.prevBins, m.bins)
+				b.prevCount = m.count
+			}
+		}
+		r.bindings = append(r.bindings, b)
+	}
+	r.seen = len(r.reg.order)
+}
+
+// Sample records one epoch's state for every bound metric. Gauges that
+// were never set, and histograms with no new observations this epoch,
+// contribute no sample (a gap, not a zero).
+func (r *Recorder) Sample(epoch int) {
+	if r == nil {
+		return
+	}
+	if r.seen != len(r.reg.order) {
+		r.bind(false)
+	}
+	for i := range r.bindings {
+		b := &r.bindings[i]
+		switch {
+		case b.counter != nil:
+			b.s.Append(epoch, float64(b.counter.n-b.prevN))
+			b.prevN = b.counter.n
+		case b.gauge != nil:
+			if b.gauge.set && !math.IsNaN(b.gauge.v) && !math.IsInf(b.gauge.v, 0) {
+				b.s.Append(epoch, b.gauge.v)
+			}
+		case b.hist != nil:
+			h := b.hist
+			dc := h.count - b.prevCount
+			if dc == 0 {
+				continue
+			}
+			p50, p95, p99 := deltaQuantiles(h, b.prevBins, dc)
+			b.p50.Append(epoch, p50)
+			b.p95.Append(epoch, p95)
+			b.p99.Append(epoch, p99)
+			copy(b.prevBins, h.bins)
+			b.prevCount = h.count
+		}
+	}
+}
+
+// deltaQuantiles computes the 50th/95th/99th percentiles of the
+// observations a histogram gained since prevBins, by linear interpolation
+// within bins (each bin's mass spread uniformly across its width).
+func deltaQuantiles(h *Histogram, prevBins []uint64, dc uint64) (p50, p95, p99 float64) {
+	width := (h.hi - h.lo) / float64(len(h.bins))
+	t50 := quantileTarget(0.50, dc)
+	t95 := quantileTarget(0.95, dc)
+	t99 := quantileTarget(0.99, dc)
+	var cum uint64
+	out := [3]float64{h.hi, h.hi, h.hi}
+	targets := [3]uint64{t50, t95, t99}
+	k := 0
+	for i := range h.bins {
+		d := h.bins[i] - prevBins[i]
+		if d == 0 {
+			continue
+		}
+		lo := cum
+		cum += d
+		for k < 3 && cum >= targets[k] {
+			frac := float64(targets[k]-lo) / float64(d)
+			out[k] = h.lo + width*(float64(i)+frac)
+			k++
+		}
+		if k == 3 {
+			break
+		}
+	}
+	return out[0], out[1], out[2]
+}
+
+// quantileTarget returns the 1-based rank of the q-quantile among n
+// observations (nearest-rank, ceil convention).
+func quantileTarget(q float64, n uint64) uint64 {
+	t := uint64(math.Ceil(q * float64(n)))
+	if t < 1 {
+		t = 1
+	}
+	if t > n {
+		t = n
+	}
+	return t
+}

@@ -1,7 +1,9 @@
 // Package statusz serves live run introspection over HTTP for long sweeps:
-// /metrics in Prometheus text format, /statusz as JSON (run config, cells
-// done/total, worker utilization, ETA), and the standard /debug/pprof
-// handlers. It exists because a multi-minute cmd/figures run is otherwise a
+// /metrics in Prometheus text format, /statusz as JSON (run config, build
+// info, cells done/total, worker utilization, ETA, anomaly alerts),
+// /healthz for liveness probes, /timeseries for flight-recorder window
+// queries, /stream for a live SSE feed of epoch samples and alerts, and
+// the standard /debug/pprof handlers. It exists because a multi-minute cmd/figures run is otherwise a
 // black box until it exits — the deterministic obs sinks only write after
 // the run.
 //
@@ -22,18 +24,63 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"jumanji/internal/obs"
 	"jumanji/internal/obs/prom"
+	"jumanji/internal/obs/tsdb"
 	"jumanji/internal/parallel"
 )
 
-// Info is the static run description shown by /statusz.
+// Info is the static run description shown by /statusz. Start fills the
+// build fields from runtime/debug.ReadBuildInfo when they are empty, and
+// CLI.Start fills Flags from the explicitly-set command-line flags.
 type Info struct {
-	Command string            `json:"command"`          // e.g. "figures"
-	Config  map[string]string `json:"config,omitempty"` // run parameters (mixes, epochs, seed, ...)
+	Command   string            `json:"command"`                // e.g. "figures"
+	GoVersion string            `json:"go_version,omitempty"`   // toolchain that built the binary
+	Revision  string            `json:"vcs_revision,omitempty"` // VCS commit, "-dirty" suffixed on modified trees
+	Config    map[string]string `json:"config,omitempty"`       // run parameters (mixes, epochs, seed, ...)
+	Flags     map[string]string `json:"flags,omitempty"`        // command-line flags explicitly set for this run
+}
+
+// fillBuildInfo populates empty build fields from the binary's embedded
+// build metadata (best-effort: test binaries may carry no VCS stamps).
+func fillBuildInfo(info *Info) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if info.GoVersion == "" {
+		info.GoVersion = bi.GoVersion
+	}
+	if info.Revision == "" {
+		rev, dirty := "", false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" && dirty {
+			rev += "-dirty"
+		}
+		info.Revision = rev
+	}
+}
+
+// FlagSummary collects the flags explicitly set on fs (the command line
+// summary /statusz shows). Call after fs.Parse.
+func FlagSummary(fs *flag.FlagSet) map[string]string {
+	out := make(map[string]string)
+	fs.Visit(func(f *flag.Flag) { out[f.Name] = f.Value.String() })
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Server is the status HTTP server. Start it before the run begins so the
@@ -47,6 +94,17 @@ type Server struct {
 	mu        sync.Mutex
 	published []obs.MetricSnapshot
 
+	// Flight-recorder state: the last published dump, the incremental
+	// anomaly detector, its alert history, and each series' next unstreamed
+	// global sample index. All guarded by tsMu; the hub has its own lock.
+	tsMu      sync.Mutex
+	tsDump    []tsdb.SeriesData
+	det       *tsdb.Detector
+	alerts    []tsdb.Alert
+	streamPos map[string]uint64
+
+	hub hub
+
 	ln  net.Listener
 	srv *http.Server
 }
@@ -59,10 +117,14 @@ func Start(addr string, info Info, progress *parallel.Progress, spans *obs.Spans
 	if err != nil {
 		return nil, fmt.Errorf("statusz: listen %s: %w", addr, err)
 	}
+	fillBuildInfo(&info)
 	s := &Server{info: info, progress: progress, spans: spans, start: time.Now(), ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/timeseries", s.handleTimeseries)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -125,16 +187,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // statuszBody is the /statusz JSON document.
 type statuszBody struct {
-	Info              Info       `json:"info"`
-	StartTime         time.Time  `json:"start_time"`
-	Cells             cellCounts `json:"cells"`
-	Workers           int        `json:"workers"`
-	ElapsedSeconds    float64    `json:"elapsed_seconds"`
-	BusySeconds       float64    `json:"busy_seconds"`
-	CellsPerSecond    float64    `json:"cells_per_second"`
-	WorkerUtilization float64    `json:"worker_utilization"`
-	ETASeconds        float64    `json:"eta_seconds"`
-	Spans             []spanLine `json:"spans,omitempty"`
+	Info              Info         `json:"info"`
+	StartTime         time.Time    `json:"start_time"`
+	Cells             cellCounts   `json:"cells"`
+	Workers           int          `json:"workers"`
+	ElapsedSeconds    float64      `json:"elapsed_seconds"`
+	BusySeconds       float64      `json:"busy_seconds"`
+	CellsPerSecond    float64      `json:"cells_per_second"`
+	WorkerUtilization float64      `json:"worker_utilization"`
+	ETASeconds        float64      `json:"eta_seconds"`
+	Spans             []spanLine   `json:"spans,omitempty"`
+	Alerts            []tsdb.Alert `json:"alerts,omitempty"`
+}
+
+// handleHealthz answers liveness probes: the server is up and accepting
+// requests, nothing more.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 type cellCounts struct {
@@ -162,6 +232,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		WorkerUtilization: ps.Utilization,
 		ETASeconds:        ps.ETA.Seconds(),
 	}
+	s.tsMu.Lock()
+	body.Alerts = append(body.Alerts, s.alerts...)
+	s.tsMu.Unlock()
 	for _, snap := range s.spans.Snapshot() {
 		body.Spans = append(body.Spans, spanLine{
 			Name: snap.Name, Count: snap.Count,
@@ -219,6 +292,9 @@ func (c *CLI) Tracker() *parallel.Progress {
 // the stderr reporter under -progress. No-op when neither flag is set.
 func (c *CLI) Start(info Info, spans *obs.Spans) error {
 	if c.Addr != "" {
+		if info.Flags == nil {
+			info.Flags = FlagSummary(flag.CommandLine)
+		}
 		srv, err := Start(c.Addr, info, &c.tracker, spans)
 		if err != nil {
 			return err
@@ -260,6 +336,10 @@ func (c *CLI) report(every time.Duration) {
 
 // PublishMetrics forwards a snapshot to the server; safe with no server.
 func (c *CLI) PublishMetrics(snaps []obs.MetricSnapshot) { c.server.PublishMetrics(snaps) }
+
+// PublishTimeseries forwards a flight-recorder dump to the server; safe
+// with no server.
+func (c *CLI) PublishTimeseries(dump []tsdb.SeriesData) { c.server.PublishTimeseries(dump) }
 
 // Close stops the reporter and the server.
 func (c *CLI) Close() error {

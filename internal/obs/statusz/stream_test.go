@@ -1,0 +1,205 @@
+package statusz
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"jumanji/internal/obs/tsdb"
+)
+
+func dumpWith(t *testing.T, series string, vals ...float64) []tsdb.SeriesData {
+	t.Helper()
+	db := tsdb.New(64)
+	for i, v := range vals {
+		db.Append(series, i, v)
+	}
+	return db.Dump()
+}
+
+func TestHealthz(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	code, _, body := get(t, "http://"+srv.Addr()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestStatuszBuildInfoAndAlerts(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	// Two samples above the deadline after one below: slo-violation-onset.
+	srv.PublishTimeseries(dumpWith(t, "system.lat_norm.p95", 0.8, 1.4))
+	code, _, body := get(t, "http://"+srv.Addr()+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var got struct {
+		Info   Info         `json:"info"`
+		Alerts []tsdb.Alert `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Info.GoVersion == "" {
+		t.Fatal("info.go_version is empty; want the toolchain version")
+	}
+	if len(got.Alerts) != 1 || got.Alerts[0].Rule != tsdb.RuleSLOOnset {
+		t.Fatalf("alerts = %+v; want one %s", got.Alerts, tsdb.RuleSLOOnset)
+	}
+}
+
+func TestTimeseriesWindowQueries(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	db := tsdb.New(64)
+	for i := 0; i < 5; i++ {
+		db.Append("a.count", i, float64(i))
+		db.Append("b.count", i, float64(10*i))
+	}
+	srv.PublishTimeseries(db.Dump())
+
+	var got timeseriesBody
+	_, ctype, body := get(t, "http://"+srv.Addr()+"/timeseries")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("content type %q", ctype)
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 2 {
+		t.Fatalf("unfiltered series count = %d; want 2", len(got.Series))
+	}
+
+	_, _, body = get(t, "http://"+srv.Addr()+"/timeseries?series=b.count&last=2")
+	got = timeseriesBody{}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 1 || got.Series[0].Name != "b.count" {
+		t.Fatalf("filtered series = %+v; want just b.count", got.Series)
+	}
+	sd := got.Series[0]
+	if len(sd.Samples) != 2 || sd.Start != 3 || sd.Samples[0].Value != 30 {
+		t.Fatalf("windowed samples = %+v (start %d); want last 2 with start 3", sd.Samples, sd.Start)
+	}
+
+	code, _, _ := get(t, "http://"+srv.Addr()+"/timeseries?last=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad last status = %d; want 400", code)
+	}
+}
+
+func TestTimeseriesEmptyBeforePublish(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	_, _, body := get(t, "http://"+srv.Addr()+"/timeseries")
+	var got timeseriesBody
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 0 {
+		t.Fatalf("series before any publish = %+v; want none", got.Series)
+	}
+}
+
+// readEvent reads one complete SSE frame ("event:" line then "data:" line).
+func readEvent(t *testing.T, r *bufio.Reader) (event, data string) {
+	t.Helper()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			return event, data
+		}
+	}
+}
+
+func TestStreamHelloSamplesAndAlerts(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://"+srv.Addr()+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+
+	event, data := readEvent(t, r)
+	if event != "hello" || !strings.Contains(data, "figures-test") {
+		t.Fatalf("first event = %q %q; want hello with the command name", event, data)
+	}
+
+	// The publish below lands after the hello was flushed, so the subscriber
+	// is guaranteed to be registered before broadcast.
+	srv.PublishTimeseries(dumpWith(t, "system.lat_norm.p95", 0.8, 1.4))
+
+	event, data = readEvent(t, r)
+	if event != "samples" {
+		t.Fatalf("second event = %q %q; want samples", event, data)
+	}
+	var samples []streamSample
+	if err := json.Unmarshal([]byte(data), &samples); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || samples[1].Value != 1.4 {
+		t.Fatalf("samples = %+v; want the two published points", samples)
+	}
+
+	event, data = readEvent(t, r)
+	var alert tsdb.Alert
+	if event != "alert" || json.Unmarshal([]byte(data), &alert) != nil || alert.Rule != tsdb.RuleSLOOnset {
+		t.Fatalf("third event = %q %q; want an %s alert", event, data, tsdb.RuleSLOOnset)
+	}
+}
+
+func TestStreamSecondPublishOnlySendsNewSamples(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	db := tsdb.New(64)
+	db.Append("a.count", 0, 1)
+	srv.PublishTimeseries(db.Dump())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+srv.Addr()+"/stream", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	readEvent(t, r) // hello
+
+	db.Append("a.count", 1, 2)
+	srv.PublishTimeseries(db.Dump())
+	event, data := readEvent(t, r)
+	var samples []streamSample
+	if event != "samples" || json.Unmarshal([]byte(data), &samples) != nil {
+		t.Fatalf("event = %q %q; want samples", event, data)
+	}
+	if len(samples) != 1 || samples[0].Epoch != 1 || samples[0].Value != 2 {
+		t.Fatalf("samples = %+v; want only the new epoch-1 point", samples)
+	}
+}
+
+func TestPublishTimeseriesNilServer(t *testing.T) {
+	var srv *Server
+	srv.PublishTimeseries(dumpWith(t, "a", 1)) // must not panic
+}

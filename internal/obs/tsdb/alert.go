@@ -1,0 +1,158 @@
+// Online anomaly rules over recorded series. The Detector is stateful and
+// incremental: each Scan only examines samples it has not seen before
+// (tracked by global index), so statusz can run it at every publish point
+// without rescanning history. The rules are deliberately simple — onset
+// crossings, run-length thresholds, trailing-window spikes — because they
+// must be explainable in a /statusz alert line.
+package tsdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Alert rule names.
+const (
+	RuleSLOOnset      = "slo-violation-onset"
+	RuleReconfigStorm = "reconfig-storm"
+	RuleLatencySpike  = "latency-spike"
+)
+
+// Alert is one fired anomaly rule, anchored to the sample that fired it.
+type Alert struct {
+	Rule    string  `json:"rule"`
+	Series  string  `json:"series"`
+	Index   uint64  `json:"index"` // global sample index within the series
+	Epoch   int32   `json:"epoch"`
+	Value   float64 `json:"value"`
+	Message string  `json:"message"`
+}
+
+// Detector evaluates the anomaly rules incrementally over series data.
+// The zero value uses the defaults below; it is not safe for concurrent
+// use (statusz guards it with the server mutex).
+type Detector struct {
+	// SpikeFactor fires latency-spike when a .p95 sample exceeds this
+	// multiple of the trailing-window mean (default 3).
+	SpikeFactor float64
+	// SpikeWindow is the trailing-window length in samples (default 16);
+	// SpikeMin is the minimum history before the rule arms (default 8).
+	SpikeWindow int
+	SpikeMin    int
+	// StormMoved and StormRun fire reconfig-storm when the moved-fraction
+	// series stays above StormMoved (default 0.5) for StormRun (default 3)
+	// consecutive samples.
+	StormMoved float64
+	StormRun   int
+
+	state map[string]*detState
+}
+
+type detState struct {
+	next     uint64 // global index of the next unseen sample
+	prev     float64
+	havePrev bool
+	window   []float64 // trailing ring for the spike rule
+	whead    int
+	wn       int
+	run      int // consecutive storm samples
+	stormed  bool
+}
+
+func (d *Detector) defaults() {
+	if d.SpikeFactor == 0 {
+		d.SpikeFactor = 3
+	}
+	if d.SpikeWindow == 0 {
+		d.SpikeWindow = 16
+	}
+	if d.SpikeMin == 0 {
+		d.SpikeMin = 8
+	}
+	if d.StormMoved == 0 {
+		d.StormMoved = 0.5
+	}
+	if d.StormRun == 0 {
+		d.StormRun = 3
+	}
+}
+
+// Scan feeds any not-yet-seen samples in dump through the rules and
+// returns the alerts they fire, in series order then sample order.
+func (d *Detector) Scan(dump []SeriesData) []Alert {
+	d.defaults()
+	if d.state == nil {
+		d.state = make(map[string]*detState)
+	}
+	var alerts []Alert
+	for _, sd := range dump {
+		st := d.state[sd.Name]
+		if st == nil {
+			st = &detState{window: make([]float64, d.SpikeWindow)}
+			d.state[sd.Name] = st
+		}
+		slo := strings.Contains(sd.Name, "lat_norm") && strings.HasSuffix(sd.Name, ".p95")
+		spike := strings.HasSuffix(sd.Name, ".p95")
+		storm := strings.HasSuffix(sd.Name, "moved_fraction")
+		if !slo && !spike && !storm {
+			continue
+		}
+		for i, sm := range sd.Samples {
+			idx := sd.Start + uint64(i)
+			if idx < st.next {
+				continue // already scanned
+			}
+			if idx > st.next {
+				// The ring dropped samples between scans: reset the
+				// continuity-sensitive state rather than alert on the gap.
+				st.havePrev, st.run, st.wn = false, 0, 0
+			}
+			st.next = idx + 1
+			v := sm.Value
+			if slo && st.havePrev && st.prev <= 1 && v > 1 {
+				alerts = append(alerts, Alert{
+					Rule: RuleSLOOnset, Series: sd.Name, Index: idx, Epoch: sm.Epoch, Value: v,
+					Message: fmt.Sprintf("%s crossed 1.0 (%.3f) at epoch %d: tail latency exceeds its SLO", sd.Name, v, sm.Epoch),
+				})
+			}
+			if spike && st.wn >= d.SpikeMin {
+				mean := 0.0
+				for j := 0; j < st.wn; j++ {
+					mean += st.window[j]
+				}
+				mean /= float64(st.wn)
+				if mean > 0 && v > d.SpikeFactor*mean {
+					alerts = append(alerts, Alert{
+						Rule: RuleLatencySpike, Series: sd.Name, Index: idx, Epoch: sm.Epoch, Value: v,
+						Message: fmt.Sprintf("%s = %.3f at epoch %d is %.1fx the trailing-%d mean %.3f", sd.Name, v, sm.Epoch, v/mean, st.wn, mean),
+					})
+				}
+			}
+			if storm {
+				if v > d.StormMoved {
+					st.run++
+					if st.run >= d.StormRun && !st.stormed {
+						st.stormed = true
+						alerts = append(alerts, Alert{
+							Rule: RuleReconfigStorm, Series: sd.Name, Index: idx, Epoch: sm.Epoch, Value: v,
+							Message: fmt.Sprintf("%s above %.2f for %d consecutive epochs (epoch %d): reconfiguration storm", sd.Name, d.StormMoved, st.run, sm.Epoch),
+						})
+					}
+				} else {
+					st.run, st.stormed = 0, false
+				}
+			}
+			// Update trailing state after rule evaluation so each rule sees
+			// only strictly older samples.
+			st.prev, st.havePrev = v, true
+			if spike {
+				st.window[st.whead] = v
+				st.whead = (st.whead + 1) % len(st.window)
+				if st.wn < len(st.window) {
+					st.wn++
+				}
+			}
+		}
+	}
+	return alerts
+}

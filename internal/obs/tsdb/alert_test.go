@@ -1,0 +1,118 @@
+package tsdb
+
+import "testing"
+
+func series(name string, start uint64, vals ...float64) SeriesData {
+	sd := SeriesData{Name: name, Start: start}
+	for i, v := range vals {
+		sd.Samples = append(sd.Samples, Sample{Epoch: int32(start) + int32(i), Value: v})
+	}
+	return sd
+}
+
+func rules(alerts []Alert) []string {
+	var out []string
+	for _, a := range alerts {
+		out = append(out, a.Rule)
+	}
+	return out
+}
+
+func TestSLOOnset(t *testing.T) {
+	var d Detector
+	alerts := d.Scan([]SeriesData{series("system.lat_norm.p95", 0, 0.8, 0.9, 1.2, 1.5, 0.7, 1.1)})
+	var onsets []Alert
+	for _, a := range alerts {
+		if a.Rule == RuleSLOOnset {
+			onsets = append(onsets, a)
+		}
+	}
+	if len(onsets) != 2 {
+		t.Fatalf("onsets = %+v, want 2 (epochs 2 and 5)", onsets)
+	}
+	if onsets[0].Epoch != 2 || onsets[1].Epoch != 5 {
+		t.Errorf("onset epochs %d,%d want 2,5", onsets[0].Epoch, onsets[1].Epoch)
+	}
+	if onsets[0].Series != "system.lat_norm.p95" || onsets[0].Value != 1.2 {
+		t.Errorf("onset[0] = %+v", onsets[0])
+	}
+}
+
+func TestSLOOnsetIncremental(t *testing.T) {
+	// Scanning the same window twice must not re-fire; extending it fires
+	// only on the new samples.
+	var d Detector
+	w1 := []SeriesData{series("x.lat_norm.p95", 0, 0.8, 1.2)}
+	if got := d.Scan(w1); len(got) != 1 {
+		t.Fatalf("first scan: %+v", got)
+	}
+	if got := d.Scan(w1); len(got) != 0 {
+		t.Fatalf("rescan re-fired: %+v", got)
+	}
+	w2 := []SeriesData{series("x.lat_norm.p95", 0, 0.8, 1.2, 0.9, 1.3)}
+	got := d.Scan(w2)
+	if len(got) != 1 || got[0].Epoch != 3 {
+		t.Fatalf("incremental scan: %+v", got)
+	}
+}
+
+func TestReconfigStorm(t *testing.T) {
+	var d Detector
+	vals := []float64{0.1, 0.6, 0.7, 0.8, 0.9, 0.2, 0.6, 0.6}
+	alerts := d.Scan([]SeriesData{series("system.moved_fraction", 0, vals...)})
+	if got := rules(alerts); len(got) != 1 || got[0] != RuleReconfigStorm {
+		t.Fatalf("alerts = %+v, want one storm", alerts)
+	}
+	// Fires on the third consecutive sample above 0.5 (epoch 3), and does
+	// not re-fire while the storm persists (epoch 4) or on the short run
+	// at the end.
+	if alerts[0].Epoch != 3 {
+		t.Errorf("storm epoch = %d, want 3", alerts[0].Epoch)
+	}
+}
+
+func TestLatencySpike(t *testing.T) {
+	var d Detector
+	vals := make([]float64, 0, 12)
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 0.2)
+	}
+	vals = append(vals, 0.9) // 4.5x the trailing mean
+	alerts := d.Scan([]SeriesData{series("span.cell.seconds.p95", 0, vals...)})
+	if got := rules(alerts); len(got) != 1 || got[0] != RuleLatencySpike {
+		t.Fatalf("alerts = %+v, want one spike", alerts)
+	}
+	if alerts[0].Epoch != 10 || alerts[0].Value != 0.9 {
+		t.Errorf("spike = %+v", alerts[0])
+	}
+}
+
+func TestSpikeNeedsHistory(t *testing.T) {
+	var d Detector
+	// Fewer than SpikeMin samples of history: the big jump must not fire.
+	alerts := d.Scan([]SeriesData{series("a.p95", 0, 0.1, 0.1, 5.0)})
+	for _, a := range alerts {
+		if a.Rule == RuleLatencySpike {
+			t.Fatalf("spike fired without history: %+v", a)
+		}
+	}
+}
+
+func TestGapResetsState(t *testing.T) {
+	var d Detector
+	d.Scan([]SeriesData{series("x.lat_norm.p95", 0, 0.9)})
+	// The ring dropped samples 1..9; the next window starts at 10. The
+	// onset rule must not treat index 10 as adjacent to index 0.
+	alerts := d.Scan([]SeriesData{series("x.lat_norm.p95", 10, 1.4, 1.5)})
+	if len(alerts) != 0 {
+		t.Fatalf("alerted across a gap: %+v", alerts)
+	}
+}
+
+func TestUntrackedSeriesIgnored(t *testing.T) {
+	var d Detector
+	alerts := d.Scan([]SeriesData{series("system.epochs", 0, 0.1, 99, 0.1, 99)})
+	if len(alerts) != 0 {
+		t.Fatalf("alerts on untracked series: %+v", alerts)
+	}
+}

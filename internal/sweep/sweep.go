@@ -32,6 +32,7 @@ import (
 	"jumanji/internal/chaos"
 	"jumanji/internal/journal"
 	"jumanji/internal/obs"
+	"jumanji/internal/obs/tsdb"
 	"jumanji/internal/parallel"
 )
 
@@ -39,12 +40,21 @@ import (
 // private mirror (obs.NewCell) and merges back in cell-index order, so the
 // merged output is bit-identical across worker counts.
 type Sinks struct {
-	Metrics        *obs.Registry
-	Events         *obs.EventLog
-	Trace          *obs.Trace
+	Metrics *obs.Registry
+	Events  *obs.EventLog
+	Trace   *obs.Trace
+	// TS is the flight-recorder time-series store (internal/obs/tsdb); cells
+	// record per-epoch samples into private mirrors merged like the other
+	// deterministic sinks.
+	TS             *tsdb.DB
 	Spans          *obs.Spans
 	Progress       *parallel.Progress
 	PublishMetrics func([]obs.MetricSnapshot)
+	// PublishTimeseries, when set, receives a fresh dump of the merged
+	// time-series store at every merge point (same contract as
+	// PublishMetrics: called from the coordinating goroutine, the dump is
+	// immutable plain data safe to hand across goroutines).
+	PublishTimeseries func([]tsdb.SeriesData)
 }
 
 // CellRef names one cell of one sweep: the sweep's label (e.g. "fig12") and
@@ -238,7 +248,7 @@ func cellsFast[T any](s Sinks, workers, n int, run func(i int, c *obs.Cell, ctx 
 	cells := make([]*obs.Cell, n)
 	out := parallel.Map(workers, n, func(i int) T {
 		t0 := time.Now()
-		cells[i] = obs.NewCell(s.Metrics, s.Events, s.Trace)
+		cells[i] = obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS)
 		res := run(i, cells[i], nil)
 		d := time.Since(t0)
 		s.Spans.Record("harness.cell", t0, d)
@@ -258,7 +268,7 @@ func cellsOnly[T any](e *Engine, s Sinks, label string, n int, run func(i int, c
 		panic(fmt.Errorf("sweep: cell %s:%d out of range (sweep %q has %d cells)", label, i, label, n))
 	}
 	s.Progress.Begin(1, 1)
-	c := obs.NewCell(s.Metrics, s.Events, s.Trace)
+	c := obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS)
 	if e.Chaos.Fires(chaos.CellPanic, int64(i), labelKey(label)) {
 		panic(fmt.Sprintf("chaos: injected panic in cell %s:%d", label, i))
 	}
@@ -337,7 +347,7 @@ func cellsFull[T any](e *Engine, s Sinks, label string, seed int64, workers, n i
 		} else {
 			end = wd.Begin(i, nil)
 		}
-		cells[i] = obs.NewCell(s.Metrics, s.Events, s.Trace)
+		cells[i] = obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS)
 		res := run(i, cells[i], ctx)
 		end()
 		if e.Journal != nil {
@@ -398,12 +408,15 @@ func cellsFull[T any](e *Engine, s Sinks, label string, seed int64, workers, n i
 
 func mergeCells(s Sinks, cells []*obs.Cell) {
 	for _, c := range cells {
-		if err := c.MergeInto(s.Metrics, s.Events, s.Trace); err != nil {
+		if err := c.MergeInto(s.Metrics, s.Events, s.Trace, s.TS); err != nil {
 			panic(fmt.Sprintf("sweep: merging cell sinks: %v", err))
 		}
 	}
 	if s.PublishMetrics != nil {
 		s.PublishMetrics(s.Metrics.Snapshot())
+	}
+	if s.PublishTimeseries != nil {
+		s.PublishTimeseries(s.TS.Dump())
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"jumanji/internal/feedback"
 	"jumanji/internal/noc"
 	"jumanji/internal/obs"
+	"jumanji/internal/obs/tsdb"
 )
 
 // Config carries the Table II machine plus model parameters.
@@ -105,6 +106,14 @@ type Config struct {
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Trace   *obs.Trace
+
+	// TS is the flight-recorder time-series store. When both Metrics and TS
+	// are set, the run samples the registry into TS once per epoch
+	// (obs.Recorder): counter deltas, gauge values, and histogram
+	// .p50/.p95/.p99 quantiles over each epoch's new observations. Nil-safe
+	// and deterministic like the other sinks; without Metrics it records
+	// nothing (the recorder samples the registry, not the model).
+	TS *tsdb.DB
 
 	// Spans, when set, times the run's major phases (epoch model step,
 	// placement) on the wall clock. Unlike the three sinks above it is

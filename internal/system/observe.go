@@ -27,8 +27,16 @@ type runObserver struct {
 
 	epochs    *obs.Counter
 	reconfigs *obs.Counter
+	sloViol   *obs.Counter
 	latNorm   *obs.Histogram
+	moved     *obs.Gauge
 	allocs    map[core.AppID]*obs.Gauge
+
+	// rec samples the registry into cfg.TS once per epoch; nil unless both
+	// Metrics and TS are configured.
+	rec *obs.Recorder
+
+	design string
 }
 
 // newRunObserver wires the run's sinks: a trace lane named after the
@@ -39,12 +47,15 @@ func newRunObserver(cfg *Config, design string, apps []*appState, ctrls map[core
 		lane:       cfg.Trace.Lane("system: " + design),
 		prevSizes:  make(map[core.AppID]float64),
 		prevPanics: make(map[core.AppID]uint64),
+		design:     design,
 	}
 	cfg.Trace.ThreadName(o.lane, 0, "epochs")
 	if reg := cfg.Metrics; reg != nil {
 		o.epochs = reg.Counter("system.epochs")
 		o.reconfigs = reg.Counter("system.reconfigs")
+		o.sloViol = reg.Counter("system.slo_violations")
 		o.latNorm = reg.Histogram("system.lat_norm", 0, 2, 40)
+		o.moved = reg.Gauge("system.moved_fraction")
 		o.allocs = make(map[core.AppID]*obs.Gauge)
 		// Register per-app metrics in app-ID order: the registry preserves
 		// registration order in its text output, so map-order iteration here
@@ -77,6 +88,9 @@ func newRunObserver(cfg *Config, design string, apps []*appState, ctrls map[core
 		}
 		cfg.Events.EmitRunStart(rs)
 	}
+	// Bind the recorder after every run-level metric is registered, so the
+	// whole set binds with a run-start baseline in one pass.
+	o.rec = obs.NewRecorder(cfg.Metrics, cfg.TS)
 	return o
 }
 
@@ -86,11 +100,13 @@ func (o *runObserver) epochUs(epoch int) float64 {
 }
 
 // observeEpoch records one epoch's outcome. reconfigured reports whether
-// the placer ran this epoch; prev is the placement it replaced (nil on the
-// first epoch or when it did not run). in still carries the latest
-// reconfiguration's controller targets.
-func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input, pl, prev *core.Placement,
-	sample EpochSample, apps []*appState, ctrls map[core.AppID]*feedback.Controller, fixedLat *float64) {
+// the placer ran this epoch (cause says why: initial | periodic |
+// delayed); prev is the placement it replaced (nil on the first epoch or
+// when it did not run). in still carries the latest reconfiguration's
+// controller targets; perfs carries each app's epoch perf when any sink
+// needing attribution is enabled (nil otherwise).
+func (o *runObserver) observeEpoch(epoch int, reconfigured bool, cause string, in *core.Input, pl, prev *core.Placement,
+	sample EpochSample, apps []*appState, perfs []perf, ctrls map[core.AppID]*feedback.Controller, fixedLat *float64) {
 	o.epochs.Inc()
 	if reconfigured {
 		o.reconfigs.Inc()
@@ -98,9 +114,13 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 	// The timeline slice is naturally in app order (the histogram's running
 	// sum is a float accumulator, so iteration order matters); NaN marks
 	// apps with no latency sample this epoch.
+	worstLat := 0.0
 	for _, v := range sample.LatNorm {
 		if !math.IsNaN(v) {
 			o.latNorm.Observe(v)
+			if v > worstLat {
+				worstLat = v
+			}
 		}
 	}
 	for id, g := range o.allocs {
@@ -109,29 +129,35 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 
 	var actions []obs.ControllerAction
 	var changes []obs.PlacementChange
-	maxMoved := 0.0
+	maxMoved, movedBytes := 0.0, 0.0
+	appsMoved := 0
 	// Decision records are only built when a sink will consume them, so
-	// uninstrumented runs pay nothing for the reconfiguration log.
-	if reconfigured && (o.cfg.Events.Enabled() || o.cfg.Trace.Enabled()) {
-		for _, id := range in.LatCritApps() {
-			size := in.LatSizes[id]
-			last, seen := o.prevSizes[id]
-			if !seen {
-				last = size
-			}
-			act := obs.ControllerAction{
-				App: int(id), Name: apps[id].name,
-				AllocBytes: size, DeltaBytes: size - last,
-				Action: classifyAction(size-last, fixedLat != nil, ctrls[id], o.prevPanics[id]),
-			}
-			if v := sample.LatNorm[int(id)]; !math.IsNaN(v) {
-				act.LatNorm = v
-			}
-			act.DeadlineViolated = act.LatNorm > 1
-			actions = append(actions, act)
-			o.prevSizes[id] = size
-			if c := ctrls[id]; c != nil {
-				o.prevPanics[id] = c.Panics
+	// uninstrumented runs pay nothing for the reconfiguration log. The
+	// churn loop additionally runs for metrics-only runs: the
+	// system.moved_fraction gauge feeds the reconfig-storm alert rule.
+	if reconfigured && (o.cfg.Events.Enabled() || o.cfg.Trace.Enabled() || o.cfg.Metrics != nil) {
+		decisions := o.cfg.Events.Enabled() || o.cfg.Trace.Enabled()
+		if decisions {
+			for _, id := range in.LatCritApps() {
+				size := in.LatSizes[id]
+				last, seen := o.prevSizes[id]
+				if !seen {
+					last = size
+				}
+				act := obs.ControllerAction{
+					App: int(id), Name: apps[id].name,
+					AllocBytes: size, DeltaBytes: size - last,
+					Action: classifyAction(size-last, fixedLat != nil, ctrls[id], o.prevPanics[id]),
+				}
+				if v := sample.LatNorm[int(id)]; !math.IsNaN(v) {
+					act.LatNorm = v
+				}
+				act.DeadlineViolated = act.LatNorm > 1
+				actions = append(actions, act)
+				o.prevSizes[id] = size
+				if c := ctrls[id]; c != nil {
+					o.prevPanics[id] = c.Panics
+				}
 			}
 		}
 		for i := range in.Apps {
@@ -140,20 +166,37 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 			if moved > maxMoved {
 				maxMoved = moved
 			}
-			changes = append(changes, obs.PlacementChange{
-				App: i, Name: apps[i].name, Banks: pl.BankCount(id),
-				TotalBytes: pl.TotalOf(id), MovedFraction: moved,
-			})
+			if moved > 0 {
+				appsMoved++
+				movedBytes += moved * pl.TotalOf(id)
+			}
+			if decisions {
+				changes = append(changes, obs.PlacementChange{
+					App: i, Name: apps[i].name, Banks: pl.BankCount(id),
+					TotalBytes: pl.TotalOf(id), MovedFraction: moved,
+				})
+			}
 		}
 	}
+	// The gauge is set every epoch (0 between reconfigurations), so its
+	// recorded series is a true per-epoch churn timeline.
+	o.moved.Set(maxMoved)
 
 	if o.cfg.Events.Enabled() {
 		o.cfg.Events.EmitEpoch(obs.Epoch{
-			Epoch: epoch, Reconfigured: reconfigured,
+			Epoch: epoch, TimeUs: o.epochUs(epoch), Reconfigured: reconfigured,
 			Actions: actions, Placement: changes,
-			Vulnerability: sample.Vulnerability,
+			Vulnerability: sample.Vulnerability, WorstLatNorm: worstLat,
 		})
+		if reconfigured {
+			o.cfg.Events.EmitReconfigChurn(obs.ReconfigChurn{
+				Epoch: epoch, TimeUs: o.epochUs(epoch), Cause: cause,
+				MaxMovedFraction: maxMoved, MovedBytes: movedBytes,
+				InvalidatedLines: movedBytes / 64, AppsMoved: appsMoved,
+			})
+		}
 	}
+	o.observeViolations(epoch, in, sample, apps, perfs)
 
 	if tr := o.cfg.Trace; tr.Enabled() {
 		ts := o.epochUs(epoch)
@@ -175,6 +218,73 @@ func (o *runObserver) observeEpoch(epoch int, reconfigured bool, in *core.Input,
 		}
 		tr.Counter(o.lane, "lc alloc (MB)", ts, allocMB)
 		tr.Counter(o.lane, "lat/deadline", ts, latNorm)
+	}
+
+	// Sample the registry into the flight recorder after every metric for
+	// this epoch has landed.
+	o.rec.Sample(epoch)
+}
+
+// observeViolations counts this epoch's blown latency-critical deadlines
+// and, when the event log is on, emits one slo_violation attribution
+// record per violating app: the latency breakdown reconstructed from the
+// epoch's perf (the CPI model is additive, so per-request cycles split
+// exactly into base, bank, NoC, and memory components; what remains of
+// the observed latency is queueing).
+func (o *runObserver) observeViolations(epoch int, in *core.Input, sample EpochSample, apps []*appState, perfs []perf) {
+	if o.sloViol == nil && !o.cfg.Events.Enabled() {
+		return
+	}
+	for i, a := range apps {
+		if a.queue == nil {
+			continue
+		}
+		latNorm := sample.LatNorm[i]
+		if math.IsNaN(latNorm) || latNorm <= 1 {
+			continue
+		}
+		o.sloViol.Inc()
+		if !o.cfg.Events.Enabled() || perfs == nil {
+			continue
+		}
+		p := perfs[i]
+		q := a.queue
+		perReq := q.workKI * 1000 // instructions per request
+		access := perReq * a.apki / 1000
+		bank := access * o.cfg.BankLatency
+		noc := access * 2 * p.AvgHops * o.cfg.HopCycles()
+		mem := access * p.MissRatio * o.cfg.MemLatency
+		service := perReq * p.CPI
+		latency := latNorm * q.deadline
+		queue := latency - service
+		if queue < 0 {
+			queue = 0
+		}
+		bd := obs.LatencyBreakdown{
+			BaseCycles:  perReq * a.baseCPI,
+			BankCycles:  bank,
+			NoCCycles:   noc,
+			MemCycles:   mem,
+			QueueCycles: queue,
+		}
+		dominant, worst := "bank", bank
+		for _, c := range [...]struct {
+			name string
+			v    float64
+		}{{"noc", noc}, {"mem", mem}, {"queue", queue}} {
+			if c.v > worst {
+				dominant, worst = c.name, c.v
+			}
+		}
+		o.cfg.Events.EmitSLOViolation(obs.SLOViolation{
+			Epoch: epoch, TimeUs: o.epochUs(epoch),
+			App: i, Name: a.name, Design: o.design,
+			LatNorm:     latNorm,
+			SlackCycles: q.deadline - latency,
+			AllocBytes:  in.LatSizes[core.AppID(i)],
+			Breakdown:   bd,
+			Dominant:    dominant,
+		})
 	}
 }
 

@@ -129,6 +129,13 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 	res.Timeline = make([]EpochSample, 0, epochs)
 	model := &epochModel{cfg: cfg}
 	vuln := make([]float64, n)
+	// perfs keeps each app's epoch perf for the observer's SLO attribution
+	// (latency breakdowns need more than the timeline sample). Allocated
+	// only under instrumentation so uninstrumented runs stay alloc-free.
+	var perfs []perf
+	if cfg.Metrics != nil || cfg.Events.Enabled() {
+		perfs = make([]perf, n)
+	}
 
 	var prevPl, pl, spare *core.Placement
 	var delayed *core.Placement // placement held back by an injected reconfig delay
@@ -149,6 +156,7 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		// actually happens (prevForModel nil otherwise).
 		var prevForModel *core.Placement
 		reconfigured := false
+		cause := ""
 		boundary := pl == nil || epoch%cfg.ReconfigEpochs == 0
 		switch {
 		case delayed != nil:
@@ -157,7 +165,9 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			delayed = nil
 			prevForModel = prevPl
 			reconfigured = true
+			cause = "delayed"
 		case boundary:
+			first := pl == nil
 			in = buildInput(cfg, apps, ctrls, qctrls, fixedLat, in)
 			if cfg.Chaos.Enabled() {
 				injectCurveFaults(&cfg, in, epoch)
@@ -179,6 +189,11 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 				prevPl, pl, spare = pl, newPl, prevPl
 				prevForModel = prevPl
 				reconfigured = true
+				if first {
+					cause = "initial"
+				} else {
+					cause = "periodic"
+				}
 			}
 		}
 		checkEpochInvariants(&cfg, in, pl, epoch, reconfigured, boundary)
@@ -203,6 +218,9 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		for i, a := range apps {
 			p := model.appPerf(a)
 			checkPerfInvariants(&cfg, epoch, a.name, p)
+			if perfs != nil {
+				perfs[i] = p
+			}
 			sample.AllocMB[i] = p.SizeBytes / (1 << 20)
 
 			accesses := 0.0
@@ -275,7 +293,7 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			totalVulnAcc += epochVulnAcc
 		}
 		res.Timeline = append(res.Timeline, sample)
-		observer.observeEpoch(epoch, reconfigured, in, pl, prevForModel, sample, apps, ctrls, fixedLat)
+		observer.observeEpoch(epoch, reconfigured, cause, in, pl, prevForModel, sample, apps, perfs, ctrls, fixedLat)
 	}
 
 	// Summaries.

@@ -30,6 +30,7 @@ import (
 	"jumanji/internal/chaos"
 	"jumanji/internal/core"
 	"jumanji/internal/obs"
+	"jumanji/internal/obs/tsdb"
 	"jumanji/internal/parallel"
 	"jumanji/internal/sim"
 	"jumanji/internal/sweep"
@@ -163,6 +164,11 @@ type Options struct {
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Trace   *obs.Trace
+	// TS is the flight-recorder time-series store (internal/obs/tsdb).
+	// With Metrics also set, every run samples its registry into TS once
+	// per epoch: counter deltas, gauge values, and per-epoch histogram
+	// quantiles. Shared and merged deterministically like the sinks above.
+	TS *tsdb.DB
 	// Spans, when set, times simulator phases (placement, epoch model,
 	// per-run cells) on the wall clock. Unlike the sinks above it is
 	// concurrency-safe; one Spans is shared across parallel runs.
@@ -175,6 +181,10 @@ type Options struct {
 	// fan-out's merge, the point where no worker holds the registry — how a
 	// live /metrics endpoint observes the single-threaded sinks safely.
 	PublishMetrics func([]obs.MetricSnapshot)
+	// PublishTimeseries is PublishMetrics's analogue for TS: a fresh dump
+	// of the merged time-series store after each fan-out's merge, feeding
+	// live /timeseries and /stream endpoints.
+	PublishTimeseries func([]tsdb.SeriesData)
 	// Engine, when set, layers crash safety over Compare's and
 	// TailVsAllocation's fan-outs (internal/sweep): a fsync'd journal of
 	// completed cells, resume from a prior journal, keep-going failure
@@ -234,6 +244,7 @@ func (o Options) systemConfig() system.Config {
 	cfg.NoC.RouterDelay = sim.Time(o.RouterDelay)
 	cfg.Seed = o.Seed
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
+	cfg.TS = o.TS
 	cfg.Spans = o.Spans
 	cfg.Chaos = o.Chaos
 	cfg.CheckInvariants = o.CheckInvariants
@@ -460,8 +471,9 @@ func runInner(opts Options, wl Workload, d Design) (*Result, error) {
 // sinks bundles the Options' observability sinks for the sweep engine.
 func (o Options) sinks() sweep.Sinks {
 	return sweep.Sinks{
-		Metrics: o.Metrics, Events: o.Events, Trace: o.Trace,
-		Spans: o.Spans, Progress: o.Progress, PublishMetrics: o.PublishMetrics,
+		Metrics: o.Metrics, Events: o.Events, Trace: o.Trace, TS: o.TS,
+		Spans: o.Spans, Progress: o.Progress,
+		PublishMetrics: o.PublishMetrics, PublishTimeseries: o.PublishTimeseries,
 	}
 }
 
@@ -526,7 +538,7 @@ func Compare(opts Options, build func(Options) (Workload, error), designs ...Des
 		func(i int, c *obs.Cell, ctx context.Context) *Result {
 			co := opts
 			co.Parallel = 1
-			co.Metrics, co.Events, co.Trace = c.Metrics, c.Events, c.Trace
+			co.Metrics, co.Events, co.Trace, co.TS = c.Metrics, c.Events, c.Trace, c.TS
 			if ctx != nil { // a nil ctx keeps any caller-installed opts.Ctx
 				co.Ctx = ctx
 			}
