@@ -1,0 +1,200 @@
+// Command allocvet enforces the repository's zero-allocation convention on
+// hot-path files. A file opts in with a marker comment line starting with
+// `// alloc-guarded` (conventionally the first line, above the package
+// clause); allocvet then flags two things inside it:
+//
+//   - sort.Slice / sort.SliceStable / sort.SliceIsSorted calls — their
+//     less-closure escapes and allocates on every call; guarded code must
+//     use sort.Sort on a typed slice, the stdlib value sorts, or an inline
+//     insertion sort instead.
+//   - bare make( calls — allocation in guarded files must be explicitly
+//     sanctioned with a trailing `// alloc: ok` comment (growth paths, pool
+//     warmup), so every remaining allocation site is a reviewed decision.
+//
+// The TestAllocGuard* suites catch allocation regressions empirically;
+// allocvet catches them structurally, before a benchmark has to notice.
+//
+// Usage:
+//
+//	allocvet [-root dir] [pkg-dir ...]
+//
+// With no package dirs, the whole tree under -root (default ".") is
+// scanned, skipping testdata and _ prefixed directories. Test files are
+// exempt. Exit status: 0 clean, 1 findings, 2 usage/IO errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	markerComment   = "// alloc-guarded"
+	sanctionComment = "// alloc: ok"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs_ := flag.NewFlagSet("allocvet", flag.ContinueOnError)
+	fs_.SetOutput(stderr)
+	root := fs_.String("root", ".", "tree to scan when no package dirs are given")
+	if err := fs_.Parse(args); err != nil {
+		return 2
+	}
+
+	var files []string
+	var err error
+	if dirs := fs_.Args(); len(dirs) > 0 {
+		files, err = collectDirs(dirs)
+	} else {
+		files, err = collectTree(*root)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "allocvet:", err)
+		return 2
+	}
+
+	findings := 0
+	guarded := 0
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "allocvet:", err)
+			return 2
+		}
+		src := string(data)
+		if !isGuarded(src) {
+			continue
+		}
+		guarded++
+		for _, f := range vetFile(path, src) {
+			fmt.Fprintln(stdout, f)
+			findings++
+		}
+	}
+	if guarded == 0 {
+		fmt.Fprintln(stderr, "allocvet: no alloc-guarded files found")
+		return 2
+	}
+	if findings > 0 {
+		fmt.Fprintf(stdout, "allocvet: %d finding(s) in %d guarded file(s)\n", findings, guarded)
+		return 1
+	}
+	fmt.Fprintf(stdout, "allocvet: ok (%d guarded file(s))\n", guarded)
+	return 0
+}
+
+// isGuarded reports whether src opts into vetting: some line, trimmed, must
+// start with the marker comment. Mentioning the marker mid-line (as this
+// tool's own documentation does) does not opt a file in.
+func isGuarded(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), markerComment) {
+			return true
+		}
+	}
+	return false
+}
+
+// vetFile scans one guarded file's source and returns a finding per
+// offending line.
+func vetFile(path, src string) []string {
+	var out []string
+	for i, line := range strings.Split(src, "\n") {
+		code := stripLineComment(line)
+		sanctioned := strings.Contains(line, sanctionComment)
+		if idx := strings.Index(code, "sort.Slice"); idx >= 0 {
+			out = append(out, fmt.Sprintf(
+				"%s:%d: sort.Slice* in alloc-guarded file (closure allocates per call; use a typed sort.Sort or an inline insertion sort)",
+				path, i+1))
+			_ = idx
+		}
+		if hasBareMake(code) && !sanctioned {
+			out = append(out, fmt.Sprintf(
+				"%s:%d: make( in alloc-guarded file without a trailing %q comment",
+				path, i+1, sanctionComment))
+		}
+	}
+	return out
+}
+
+// stripLineComment removes a trailing // comment so commented-out code and
+// the sanction comments themselves are not matched as code.
+func stripLineComment(line string) string {
+	// Good enough for this repo: no // inside string literals on hot paths.
+	if i := strings.Index(line, "//"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// hasBareMake reports whether the code (comment-stripped) calls make(.
+// Identifiers like remake( or q.make are not flagged.
+func hasBareMake(code string) bool {
+	for i := 0; ; {
+		j := strings.Index(code[i:], "make(")
+		if j < 0 {
+			return false
+		}
+		j += i
+		if j == 0 || !isIdentChar(code[j-1]) {
+			return true
+		}
+		i = j + len("make(")
+	}
+}
+
+func isIdentChar(b byte) bool {
+	return b == '_' || b == '.' ||
+		('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+// collectTree walks root for non-test .go files.
+func collectTree(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+// collectDirs lists non-test .go files directly inside each dir.
+func collectDirs(dirs []string) ([]string, error) {
+	var files []string
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				files = append(files, filepath.Join(dir, n))
+			}
+		}
+	}
+	return files, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const guardedBad = `// alloc-guarded
+package p
+
+import "sort"
+
+func f(xs []int) []int {
+	ys := make([]int, len(xs))
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return ys
+}
+`
+
+const guardedGood = `// alloc-guarded: hot path.
+package p
+
+func g(n int) []int {
+	buf := make([]int, n) // alloc: ok (pool warmup)
+	// make( in a comment is fine; so is sort.Slice here.
+	return buf
+}
+`
+
+const unguarded = `package q
+
+import "sort"
+
+func h(xs []int) {
+	_ = make([]int, 9)
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+`
+
+func TestAllocvetFlagsGuardedViolations(t *testing.T) {
+	dir := writeTree(t, map[string]string{"a/bad.go": guardedBad, "a/good.go": guardedGood})
+	var stdout, stderr strings.Builder
+	rc := run([]string{"-root", dir}, &stdout, &stderr)
+	if rc != 1 {
+		t.Fatalf("rc = %d, want 1; stderr: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "bad.go:7") || !strings.Contains(out, "make(") {
+		t.Errorf("bare make not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "bad.go:8") || !strings.Contains(out, "sort.Slice") {
+		t.Errorf("sort.Slice not flagged:\n%s", out)
+	}
+	if strings.Contains(out, "good.go") {
+		t.Errorf("sanctioned/commented lines flagged:\n%s", out)
+	}
+}
+
+func TestAllocvetIgnoresUnguardedFiles(t *testing.T) {
+	dir := writeTree(t, map[string]string{"q/free.go": unguarded, "p/good.go": guardedGood})
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-root", dir}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("rc = %d, want 0; out: %s stderr: %s", rc, stdout.String(), stderr.String())
+	}
+}
+
+func TestAllocvetFailsWithoutGuardedFiles(t *testing.T) {
+	dir := writeTree(t, map[string]string{"q/free.go": unguarded})
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-root", dir}, &stdout, &stderr); rc != 2 {
+		t.Fatalf("rc = %d, want 2 when the marker convention disappears", rc)
+	}
+}
+
+func TestAllocvetSkipsTestFiles(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"p/good.go":     guardedGood,
+		"p/hot_test.go": "// alloc-guarded\npackage p\nimport \"sort\"\nfunc t(xs []int) { _ = make([]int, 1); sort.Slice(xs, nil) }\n",
+	})
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-root", dir}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("rc = %d, want 0 (test files exempt); out: %s", rc, stdout.String())
+	}
+}
+
+// TestAllocvetRepoIsClean runs the real check over this repository — the
+// same invocation CI uses — so a violation fails here first.
+func TestAllocvetRepoIsClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("repo root not found")
+	}
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-root", root}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("allocvet found violations in the repo (rc %d):\n%s%s", rc, stdout.String(), stderr.String())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime"
 
 	"jumanji/internal/benchdiff"
 )
@@ -51,6 +52,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
+	}
+	// Timing baselines only transfer between hosts of the same shape:
+	// parallel benchmarks recorded on a 1-core box are meaningless targets
+	// on 16 cores and vice versa. Skip (don't fail) on a mismatch so CI
+	// stays green on whatever runner it lands on.
+	if cores := runtime.GOMAXPROCS(0); base.HostCores > 0 && base.HostCores != cores {
+		fmt.Fprintf(stdout, "benchdiff: skipping %s: baseline recorded on %d core(s), this host has GOMAXPROCS=%d; re-record on a matching host to re-enable the gate\n",
+			base.Path, base.HostCores, cores)
+		return 0
 	}
 
 	var benchOut io.Reader

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -69,5 +71,37 @@ func TestRunRegressionStillFails(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if rc := run([]string{"-baseline", base, "-input", input}, &stdout, &stderr); rc != 1 {
 		t.Fatalf("rc = %d, want 1: the 0->1 allocs/op regression must still gate", rc)
+	}
+}
+
+// Host-shape gating: a baseline recorded with a different core count than
+// the current GOMAXPROCS is skipped with an informational line, not failed —
+// timing targets don't transfer across host shapes.
+func TestRunSkipsBaselineFromDifferentHostShape(t *testing.T) {
+	otherCores := runtime.GOMAXPROCS(0) + 7
+	base, input := writeFiles(t,
+		fmt.Sprintf(`{"host": {"cores": %d}, "results": {"BenchmarkKnown": {"ns_per_op": 1000}}}`, otherCores),
+		"BenchmarkKnown-4 10 99999999 ns/op\n") // would be a huge regression if compared
+	var stdout, stderr strings.Builder
+	rc := run([]string{"-baseline", base, "-input", input}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0 (skip); stderr: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "skipping") || !strings.Contains(out, "GOMAXPROCS") {
+		t.Errorf("expected a skip info line, got:\n%s", out)
+	}
+	if strings.Contains(out, "regressed") {
+		t.Errorf("mismatched-host baseline must not be compared:\n%s", out)
+	}
+}
+
+func TestRunComparesWhenHostShapeMatches(t *testing.T) {
+	base, input := writeFiles(t,
+		fmt.Sprintf(`{"host": {"cores": %d}, "results": {"BenchmarkKnown": {"ns_per_op": 1000}}}`, runtime.GOMAXPROCS(0)),
+		"BenchmarkKnown-4 10 99999999 ns/op\n")
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-baseline", base, "-input", input}, &stdout, &stderr); rc != 1 {
+		t.Fatalf("rc = %d, want 1 (regression must still gate on a matching host); stdout:\n%s", rc, stdout.String())
 	}
 }

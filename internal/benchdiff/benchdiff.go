@@ -34,6 +34,11 @@ type Metrics struct {
 type Baseline struct {
 	Path    string
 	Results map[string]Metrics
+	// HostCores is the core count the baseline was recorded on (host.cores
+	// in the file; 0 when unrecorded). Timing baselines are only comparable
+	// on a matching host shape — cmd/benchdiff skips the comparison with an
+	// informational note when it differs from the current GOMAXPROCS.
+	HostCores int
 }
 
 // baselineFile mirrors the committed schema: results keyed by benchmark
@@ -41,6 +46,9 @@ type Baseline struct {
 // {before, after} pair (BENCH_dense.json), in which case "after" — the
 // state the file's commit established — is the number to defend.
 type baselineFile struct {
+	Host struct {
+		Cores int `json:"cores"`
+	} `json:"host"`
 	Results map[string]json.RawMessage `json:"results"`
 }
 
@@ -57,7 +65,7 @@ func LoadBaseline(path string) (*Baseline, error) {
 	if len(f.Results) == 0 {
 		return nil, fmt.Errorf("benchdiff: %s has no results", path)
 	}
-	b := &Baseline{Path: path, Results: make(map[string]Metrics, len(f.Results))}
+	b := &Baseline{Path: path, Results: make(map[string]Metrics, len(f.Results)), HostCores: f.Host.Cores}
 	for name, raw := range f.Results {
 		var pair struct {
 			After *Metrics `json:"after"`

@@ -58,6 +58,56 @@ func TestAllocGuardPlacementAccessors(t *testing.T) {
 	}
 }
 
+// TestAllocGuardAppsOf guards the Input accessors the placers call per epoch:
+// with reused dst slices the Append variants must be allocation-free.
+func TestAllocGuardAppsOf(t *testing.T) {
+	in, _, _ := allocGuardPlacement()
+	var (
+		vms        []VMID
+		lat, batch []AppID
+	)
+	// Warm to full capacity.
+	vms = in.AppendVMs(vms[:0])
+	for _, vm := range vms {
+		lat, batch = in.AppendAppsOf(lat[:0], batch[:0], vm)
+	}
+	lat = in.AppendLatCritApps(lat[:0])
+	batch = in.AppendBatchApps(batch[:0])
+	allocs := testing.AllocsPerRun(200, func() {
+		vms = in.AppendVMs(vms[:0])
+		for _, vm := range vms {
+			lat, batch = in.AppendAppsOf(lat[:0], batch[:0], vm)
+		}
+		lat = in.AppendLatCritApps(lat[:0])
+		batch = in.AppendBatchApps(batch[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("Append accessors with reused scratch allocated %v times per sweep, want 0", allocs)
+	}
+}
+
+// TestAllocGuardPlace guards the whole placement hot path: with a warmed
+// scratch pool, a Jumanji reconfiguration should allocate only a handful of
+// times (retained map growth aside).
+func TestAllocGuardPlace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; guarded by the non-race CI step")
+	}
+	in, pl, _ := allocGuardPlacement()
+	p := JumanjiPlacer{}
+	p.PlaceInto(in, pl) // warm the placeScratch pool
+	allocs := testing.AllocsPerRun(50, func() {
+		p.PlaceInto(in, pl)
+	})
+	// The steady-state budget: pool Get/Put plumbing plus map internals may
+	// allocate a few times, but the old per-epoch behaviour (hundreds of
+	// slices and maps) must not come back.
+	const maxAllocs = 12
+	if allocs > maxAllocs {
+		t.Errorf("JumanjiPlacer.PlaceInto allocated %v times per call, want <= %d", allocs, maxAllocs)
+	}
+}
+
 func TestAllocGuardAppendAccessors(t *testing.T) {
 	in, pl, _ := allocGuardPlacement()
 	// Warm the scratch slices to full capacity once; steady-state reuse with

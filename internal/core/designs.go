@@ -89,28 +89,33 @@ func (VMPartPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	poolWays := placeAdaptiveLatCrit(in, pl)
 
 	// Divide the batch ways among VMs by lookahead over each VM's combined
-	// batch miss curve; quantum is one way across all banks.
-	vms := in.VMs()
-	var reqs []lookahead.Request
+	// batch miss curve; quantum is one way across all banks. Scratch reuse
+	// keeps the per-epoch cost flat: app lists and the combined curves come
+	// from a pooled placeScratch (the curves from its arena).
+	s := getPlaceScratch(in.Machine)
+	defer putPlaceScratch(s)
+	s.vms = in.AppendVMs(s.vms[:0])
+	reqs := s.reqs[:0]
 	var vmsWithBatch []VMID
-	for _, vm := range vms {
-		_, batch := in.AppsOf(vm)
-		if len(batch) == 0 {
+	for _, vm := range s.vms {
+		s.lat, s.batch = in.AppendAppsOf(s.lat[:0], s.batch[:0], vm)
+		if len(s.batch) == 0 {
 			continue
 		}
 		vmsWithBatch = append(vmsWithBatch, vm)
 		reqs = append(reqs, lookahead.Request{
-			Curve: combinedBatchCurve(in, batch),
+			Curve: combinedBatchCurveArena(s, in, s.batch),
 			Min:   wayStripeBytes(in), // every VM keeps at least one way
 			Step:  wayStripeBytes(in),
 		})
 	}
-	sizes := lookahead.Allocate(poolWays*wayStripeBytes(in), reqs)
+	s.reqs = reqs
+	s.sizes = lookahead.AllocateInto(s.sizes[:0], poolWays*wayStripeBytes(in), reqs)
 	for i, vm := range vmsWithBatch {
-		_, batch := in.AppsOf(vm)
-		vmWaysPerBank := sizes[i] / wayStripeBytes(in)
-		split := sharedPoolSplit(in, batch, sizes[i])
-		for _, app := range batch {
+		s.lat, s.batch = in.AppendAppsOf(s.lat[:0], s.batch[:0], vm)
+		vmWaysPerBank := s.sizes[i] / wayStripeBytes(in)
+		split := sharedPoolSplit(in, s.batch, s.sizes[i])
+		for _, app := range s.batch {
 			stripe(in, pl, app, split[app])
 			pl.SetUnpartitioned(app)
 			pl.SetGroupWays(app, vmWaysPerBank)

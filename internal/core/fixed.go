@@ -31,14 +31,16 @@ func (p FixedPlacer) Place(in *Input) *Placement {
 func (p FixedPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
 	pl.Reset(in.Machine)
-	balance := newBalance(in.Machine)
+	s := getPlaceScratch(in.Machine)
+	defer putPlaceScratch(s)
+	balance := s.balance
 	usedBytes := 0.0
 	if p.Nearest {
-		res := latCritPlace(in, pl, balance, false)
+		res := latCritPlace(in, pl, balance, false, s)
 		if res.unplaced > 0 {
 			panic("core: fixed allocation exceeds LLC capacity")
 		}
-		for _, app := range in.LatCritApps() {
+		for _, app := range s.latApps {
 			usedBytes += pl.TotalOf(app)
 		}
 	} else {

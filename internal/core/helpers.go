@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"jumanji/internal/topo"
 )
 
@@ -53,12 +51,13 @@ func stripe(in *Input, pl *Placement, app AppID, bytes float64) {
 }
 
 // greedyFill places `size` bytes for app into the nearest banks (by hop
-// distance from the app's core) that appear in allowed (nil = all banks),
-// consuming balance. It returns the bytes that did not fit.
-func greedyFill(in *Input, pl *Placement, app AppID, size float64, balance []float64, allowed map[topo.TileID]bool) float64 {
+// distance from the app's core) that are marked in allowed (nil = all banks;
+// otherwise indexed by bank), consuming balance. It returns the bytes that
+// did not fit.
+func greedyFill(in *Input, pl *Placement, app AppID, size float64, balance []float64, allowed []bool) float64 {
 	spec := in.Apps[app]
 	remaining := size
-	for _, b := range in.Machine.Mesh.BanksByDistance(spec.Core) {
+	for _, b := range in.Machine.Mesh.BanksByDistanceView(spec.Core) {
 		if remaining <= 1e-9 {
 			return 0
 		}
@@ -80,16 +79,26 @@ func greedyFill(in *Input, pl *Placement, app AppID, size float64, balance []flo
 	return remaining
 }
 
-// byDescendingRate returns the app IDs ordered by access intensity, densest
-// first — the order in which D-NUCA placers claim nearby banks so the
-// hottest data lands closest.
-func byDescendingRate(in *Input, apps []AppID) []AppID {
-	out := make([]AppID, len(apps))
-	copy(out, apps)
-	sort.SliceStable(out, func(i, j int) bool {
-		return in.Apps[out[i]].AccessRate > in.Apps[out[j]].AccessRate
-	})
-	return out
+// appendByDescendingRate appends to dst the *positions* (indices into apps)
+// ordered by access intensity, densest first — the order in which D-NUCA
+// placers claim nearby banks so the hottest data lands closest. Positions let
+// callers index a parallel sizes slice without an AppID→index map. The sort
+// is a stable insertion sort: app counts are bounded by the core count, it
+// allocates nothing, and stability makes its permutation identical to the
+// sort.SliceStable it replaced (a stable sort's output permutation is
+// unique), so placements are unchanged bit for bit.
+func appendByDescendingRate(dst []int32, in *Input, apps []AppID) []int32 {
+	base := len(dst)
+	for i := range apps {
+		dst = append(dst, int32(i))
+	}
+	ord := dst[base:]
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && in.Apps[apps[ord[j]]].AccessRate > in.Apps[apps[ord[j-1]]].AccessRate; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	return dst
 }
 
 // vmDistance returns the minimum hop distance from bank b to any core
@@ -110,7 +119,11 @@ func vmDistance(in *Input, vm VMID, b topo.TileID) int {
 
 // newBalance returns a full per-bank capacity slice.
 func newBalance(m Machine) []float64 {
-	balance := make([]float64, m.Banks())
+	return fillBalance(make([]float64, m.Banks()), m)
+}
+
+// fillBalance resets balance (length Banks()) to full per-bank capacity.
+func fillBalance(balance []float64, m Machine) []float64 {
 	for i := range balance {
 		balance[i] = m.BankBytes
 	}

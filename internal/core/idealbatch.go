@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"jumanji/internal/lookahead"
-	"jumanji/internal/topo"
 )
 
 // IdealBatchPlacer is the infeasible upper bound of Fig. 16 ("Jumanji:
@@ -29,14 +28,16 @@ func (p IdealBatchPlacer) Place(in *Input) *Placement {
 func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
 	pl.Reset(in.Machine)
-	balance := newBalance(in.Machine)
+	s := getPlaceScratch(in.Machine)
+	defer putPlaceScratch(s)
+	balance := s.balance
 
-	latRes := latCritPlace(in, pl, balance, true)
+	latRes := latCritPlace(in, pl, balance, true, s)
 	if latRes.unplaced > 0 {
 		panic("core: Ideal Batch could not place latency-critical data")
 	}
 	latTotal := 0.0
-	for _, app := range in.LatCritApps() {
+	for _, app := range s.latApps {
 		latTotal += pl.TotalOf(app)
 	}
 
@@ -47,17 +48,17 @@ func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 
 	// Per-VM bank-granular division of the overlay (VM isolation holds in
 	// the overlay too).
-	vms := in.VMs()
+	s.vms = in.AppendVMs(s.vms[:0])
 	var reqs []lookahead.Request
 	var vmList []VMID
-	for _, vm := range vms {
-		_, batch := in.AppsOf(vm)
-		if len(batch) == 0 {
+	for _, vm := range s.vms {
+		s.lat, s.batch = in.AppendAppsOf(s.lat[:0], s.batch[:0], vm)
+		if len(s.batch) == 0 {
 			continue
 		}
 		vmList = append(vmList, vm)
 		reqs = append(reqs, lookahead.Request{
-			Curve: combinedBatchCurve(in, batch).ConvexHull(),
+			Curve: s.arena.ConvexHull(combinedBatchCurveArena(s, in, s.batch)),
 			Min:   in.Machine.BankBytes, // at least one overlay bank each
 			Step:  in.Machine.BankBytes,
 		})
@@ -73,9 +74,11 @@ func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	}
 	sizes := lookahead.Allocate(budget, reqs)
 
-	// Assign overlay banks round-robin nearest-first.
-	ownerOverlay := make(map[topo.TileID]VMID)
-	needed := make(map[VMID]int)
+	// Assign overlay banks round-robin nearest-first. s.owner is free here
+	// (no bank-isolation step ran) and starts all -1.
+	ownerOverlay := s.owner
+	needed := s.needed
+	clear(needed)
 	for i, vm := range vmList {
 		needed[vm] = int(math.Round(sizes[i] / in.Machine.BankBytes))
 		if needed[vm] < 1 {
@@ -104,15 +107,13 @@ func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	// Jigsaw placement inside each VM's overlay banks.
 	jig := JumanjiPlacer{}
 	for i, vm := range vmList {
-		allowed := make(map[topo.TileID]bool)
-		for b, v := range ownerOverlay {
-			if v == vm {
-				allowed[b] = true
-			}
+		allowed := s.allowed
+		for b := range allowed {
+			allowed[b] = ownerOverlay[b] == vm
 		}
-		_, batch := in.AppsOf(vm)
-		jig.placeBatchWithin(in, pl, overlay, batch, sizes[i], allowed)
-		for _, app := range batch {
+		s.lat, s.batch = in.AppendAppsOf(s.lat[:0], s.batch[:0], vm)
+		jig.placeBatchWithin(in, pl, s, overlay, s.batch, sizes[i], allowed)
+		for _, app := range s.batch {
 			pl.SetOverlay(app)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"jumanji/internal/lookahead"
+	"jumanji/internal/mrc"
 )
 
 // JigsawPlacer is the state-of-the-art D-NUCA baseline [6, 8]: it minimizes
@@ -49,31 +50,39 @@ func (RawCurveJigsawPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 func jigsawPlace(in *Input, hull bool, pl *Placement) *Placement {
 	mustValidate(in)
 	pl.Reset(in.Machine)
-	balance := newBalance(in.Machine)
+	s := getPlaceScratch(in.Machine)
+	defer putPlaceScratch(s)
+	balance := s.balance
 
 	// Divide capacity by pure data-movement utility: every app (batch and
 	// latency-critical alike) competes on its absolute miss-rate curve.
-	apps := make([]AppID, len(in.Apps))
-	reqs := make([]lookahead.Request, len(in.Apps))
+	apps := s.batch[:0]
+	reqs := s.reqs[:0]
 	wayBytes := in.Machine.WayBytes()
 	for i := range in.Apps {
-		apps[i] = AppID(i)
-		curve := in.Apps[i].MissRateCurve()
+		apps = append(apps, AppID(i))
+		var curve mrc.Curve
 		if hull {
-			curve = curve.ConvexHull()
+			curve = missRateHullArena(s, in, AppID(i))
+		} else {
+			spec := in.Apps[i]
+			curve = spec.MissRatio.ScaleInto(s.arena.Alloc(len(spec.MissRatio.M)), spec.AccessRate)
 		}
-		reqs[i] = lookahead.Request{
+		reqs = append(reqs, lookahead.Request{
 			Curve: curve,
 			Min:   wayBytes, // every VC keeps a sliver of cache
 			Step:  wayBytes,
 			Max:   in.Machine.TotalBytes(),
-		}
+		})
 	}
-	sizes := lookahead.Allocate(in.Machine.TotalBytes(), reqs)
+	s.batch, s.reqs = apps, reqs
+	s.sizes = lookahead.AllocateInto(s.sizes[:0], in.Machine.TotalBytes(), reqs)
 
-	// Pack the hottest VCs closest to their threads.
-	for _, app := range byDescendingRate(in, apps) {
-		greedyFill(in, pl, app, sizes[app], balance, nil)
+	// Pack the hottest VCs closest to their threads. Positions equal AppIDs
+	// here (apps is the identity list), so sizes indexes directly.
+	s.order = appendByDescendingRate(s.order[:0], in, apps)
+	for _, pos := range s.order {
+		greedyFill(in, pl, apps[pos], s.sizes[pos], balance, nil)
 	}
 	return pl
 }

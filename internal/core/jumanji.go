@@ -78,49 +78,50 @@ func shrinkLatSizes(in Input, factor float64) Input {
 }
 
 func (p JumanjiPlacer) place(in *Input, pl *Placement) error {
-	if vms := in.VMs(); !p.Insecure && p.AllowOversubscription && len(vms) > in.Machine.Banks() {
+	s := getPlaceScratch(in.Machine)
+	defer putPlaceScratch(s)
+	s.vms = in.AppendVMs(s.vms[:0])
+	vms := s.vms
+	if !p.Insecure && p.AllowOversubscription && len(vms) > in.Machine.Banks() {
 		return p.placeOversubscribed(in, vms, pl)
 	}
 	pl.Reset(in.Machine)
-	balance := newBalance(in.Machine)
+	balance := s.balance
 
 	// ① Reserve latency-critical allocations nearest-first.
-	latRes := latCritPlace(in, pl, balance, !p.Insecure)
+	latRes := latCritPlace(in, pl, balance, !p.Insecure, s)
 	if latRes.unplaced > 0 {
 		return fmt.Errorf("core: %g bytes of latency-critical data did not fit", latRes.unplaced)
 	}
 
 	if p.Insecure {
-		p.placeBatchInsecure(in, pl, balance)
+		p.placeBatchInsecure(in, pl, s, balance)
 		return nil
 	}
 
 	// ② Bank-granular VM allocation (JumanjiLookahead) + bank assignment.
-	owner, err := p.assignBanks(in, pl, latRes)
+	owner, err := p.assignBanks(in, pl, latRes, s)
 	if err != nil {
 		return err
 	}
 
 	// ③ Jigsaw placement within each VM's banks.
-	for _, vm := range in.VMs() {
-		allowed := make(map[topo.TileID]bool)
+	for _, vm := range vms {
+		allowed := s.allowed
 		vmCapacity := 0.0
-		// Scan banks in order, not map order: the capacity sum must
-		// accumulate deterministically (float addition is order-sensitive).
-		// The ok check matters — VMID(0) is a valid VM, so a missing key's
-		// zero value cannot be used as a sentinel.
+		// Scan banks in order: the capacity sum must accumulate
+		// deterministically (float addition is order-sensitive).
 		for b := 0; b < in.Machine.Banks(); b++ {
-			id := topo.TileID(b)
-			if v, ok := owner[id]; ok && v == vm {
-				allowed[id] = true
+			allowed[b] = owner[b] == vm
+			if allowed[b] {
 				vmCapacity += balance[b]
 			}
 		}
-		_, batch := in.AppsOf(vm)
-		if len(batch) == 0 || vmCapacity <= 0 {
+		s.lat, s.batch = in.AppendAppsOf(s.lat[:0], s.batch[:0], vm)
+		if len(s.batch) == 0 || vmCapacity <= 0 {
 			continue
 		}
-		p.placeBatchWithin(in, pl, balance, batch, vmCapacity, allowed)
+		p.placeBatchWithin(in, pl, s, balance, s.batch, vmCapacity, allowed)
 	}
 	return nil
 }
@@ -161,28 +162,32 @@ func (p JumanjiPlacer) placeOversubscribed(in *Input, vms []VMID, pl *Placement)
 // assignBanks computes each VM's whole-bank entitlement and hands out banks
 // round-robin, each VM taking its closest remaining bank. Banks already
 // holding a VM's latency-critical data belong to that VM from the start.
-func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResult) (map[topo.TileID]VMID, error) {
+// The returned per-bank owner slice (-1 = free) is s.owner.
+func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResult, s *placeScratch) ([]VMID, error) {
 	m := in.Machine
-	vms := in.VMs()
+	vms := s.vms
 	if len(vms) > m.Banks() {
 		return nil, fmt.Errorf("core: %d VMs exceed %d banks; bank isolation impossible", len(vms), m.Banks())
 	}
 
 	// Feedback-reserved bytes per VM.
-	latOf := make(map[VMID]float64, len(vms))
-	for _, app := range in.LatCritApps() {
+	latOf := s.latOf
+	clear(latOf)
+	s.latApps = in.AppendLatCritApps(s.latApps[:0])
+	for _, app := range s.latApps {
 		latOf[in.Apps[app].VM] += pl.TotalOf(app)
 	}
 
 	// JumanjiLookahead: batch capacity divided among VMs so that
 	// lat + batch is a whole number of banks per VM.
-	var reqs []lookahead.Request
+	reqs := s.reqs[:0]
 	minTotal := 0.0
 	for _, vm := range vms {
-		_, batch := in.AppsOf(vm)
-		curve := flatCurve(in)
+		s.lat, s.batch = in.AppendAppsOf(s.lat[:0], s.batch[:0], vm)
+		batch := s.batch
+		curve := flatCurve(in, &s.arena)
 		if len(batch) > 0 {
-			curve = combinedBatchCurve(in, batch).ConvexHull()
+			curve = s.arena.ConvexHull(combinedBatchCurveArena(s, in, batch))
 		}
 		r := lookahead.BankGranularRequest(curve, 1, latOf[vm], m.BankBytes)
 		// A VM whose latency-critical data lands exactly on a bank boundary
@@ -194,6 +199,7 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 		reqs = append(reqs, r)
 		minTotal += r.Min
 	}
+	s.reqs = reqs
 	// vms is ascending, so the reserved-bytes sum is deterministic without
 	// the sorted-map-keys workaround the map layout needed; VMs with no
 	// latency-critical data contribute an exact +0.
@@ -205,10 +211,12 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 	if minTotal > batchBalance+1e-6 {
 		return nil, fmt.Errorf("core: bank-granular minima (%g) exceed batch capacity (%g)", minTotal, batchBalance)
 	}
-	sizes := lookahead.Allocate(batchBalance, reqs)
+	s.sizes = lookahead.AllocateInto(s.sizes[:0], batchBalance, reqs)
+	sizes := s.sizes
 
 	// Whole-bank entitlement per VM.
-	needed := make(map[VMID]int, len(vms))
+	needed := s.needed
+	clear(needed)
 	totalBanks := 0
 	for i, vm := range vms {
 		banks := int(math.Round((latOf[vm] + sizes[i]) / m.BankBytes))
@@ -220,21 +228,25 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 	}
 
 	// Start from the latency-critical claims.
-	owner := make(map[topo.TileID]VMID, m.Banks())
+	owner := s.owner
 	for b, vm := range latRes.claims {
-		owner[b] = vm
-		needed[vm]--
+		if vm >= 0 {
+			owner[b] = vm
+			needed[vm]--
+		}
 	}
 
 	// Every VM with applications must own at least one bank, even if its
 	// capacity share rounded to zero.
-	owned := make(map[VMID]int, len(vms))
-	for _, vm := range owner {
-		owned[vm]++
-	}
 	for _, vm := range vms {
-		if owned[vm]+needed[vm] <= 0 {
-			needed[vm] = 1 - owned[vm]
+		owned := 0
+		for _, o := range owner {
+			if o == vm {
+				owned++
+			}
+		}
+		if owned+needed[vm] <= 0 {
+			needed[vm] = 1 - owned
 		}
 	}
 
@@ -270,50 +282,49 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 
 // placeBatchWithin runs Jigsaw's algorithm inside one VM: per-app Lookahead
 // over the VM's capacity, then nearest-first packing restricted to the VM's
-// banks.
-func (p JumanjiPlacer) placeBatchWithin(in *Input, pl *Placement, balance []float64, batch []AppID, capacity float64, allowed map[topo.TileID]bool) {
+// banks (allowed, indexed by bank; nil = all).
+func (p JumanjiPlacer) placeBatchWithin(in *Input, pl *Placement, s *placeScratch, balance []float64, batch []AppID, capacity float64, allowed []bool) {
 	wayBytes := in.Machine.WayBytes()
-	reqs := make([]lookahead.Request, len(batch))
-	for i, app := range batch {
-		reqs[i] = lookahead.Request{
-			Curve: in.Apps[app].MissRateCurve().ConvexHull(),
+	reqs := s.reqs[:0]
+	for _, app := range batch {
+		reqs = append(reqs, lookahead.Request{
+			Curve: missRateHullArena(s, in, app),
 			Min:   wayBytes,
 			Step:  wayBytes,
 			Max:   in.Machine.TotalBytes(),
-		}
+		})
 	}
-	sizes := lookahead.Allocate(capacity, reqs)
-	idx := make(map[AppID]int, len(batch))
-	for i, app := range batch {
-		idx[app] = i
-	}
-	for _, app := range byDescendingRate(in, batch) {
-		greedyFill(in, pl, app, sizes[idx[app]], balance, allowed)
+	s.reqs = reqs
+	s.sizes = lookahead.AllocateInto(s.sizes[:0], capacity, reqs)
+	s.order = appendByDescendingRate(s.order[:0], in, batch)
+	for _, pos := range s.order {
+		greedyFill(in, pl, batch[pos], s.sizes[pos], balance, allowed)
 	}
 }
 
 // placeBatchInsecure is the Fig. 16 variant: latency-critical reservations
 // stand, but batch goes wherever locality is best, with no VM isolation.
-func (p JumanjiPlacer) placeBatchInsecure(in *Input, pl *Placement, balance []float64) {
-	batch := in.BatchApps()
-	if len(batch) == 0 {
+func (p JumanjiPlacer) placeBatchInsecure(in *Input, pl *Placement, s *placeScratch, balance []float64) {
+	s.batch = in.AppendBatchApps(s.batch[:0])
+	if len(s.batch) == 0 {
 		return
 	}
 	capacity := 0.0
 	for _, b := range balance {
 		capacity += b
 	}
-	p.placeBatchWithin(in, pl, balance, batch, capacity, nil)
+	p.placeBatchWithin(in, pl, s, balance, s.batch, capacity, nil)
 }
 
-// nearestFreeBank finds the closest unowned bank to any of vm's cores.
-func nearestFreeBank(in *Input, vm VMID, owner map[topo.TileID]VMID) (topo.TileID, bool) {
+// nearestFreeBank finds the closest unowned bank (owner[b] < 0) to any of
+// vm's cores.
+func nearestFreeBank(in *Input, vm VMID, owner []VMID) (topo.TileID, bool) {
 	best, bestDist := topo.TileID(-1), -1
 	for b := 0; b < in.Machine.Banks(); b++ {
-		bid := topo.TileID(b)
-		if _, taken := owner[bid]; taken {
+		if owner[b] >= 0 {
 			continue
 		}
+		bid := topo.TileID(b)
 		d := vmDistance(in, vm, bid)
 		if bestDist < 0 || d < bestDist {
 			best, bestDist = bid, d
@@ -323,12 +334,12 @@ func nearestFreeBank(in *Input, vm VMID, owner map[topo.TileID]VMID) (topo.TileI
 }
 
 // nextLeftover picks an unowned bank and the VM nearest to it.
-func nextLeftover(in *Input, vms []VMID, owner map[topo.TileID]VMID) (topo.TileID, VMID, bool) {
+func nextLeftover(in *Input, vms []VMID, owner []VMID) (topo.TileID, VMID, bool) {
 	for b := 0; b < in.Machine.Banks(); b++ {
-		bid := topo.TileID(b)
-		if _, taken := owner[bid]; taken {
+		if owner[b] >= 0 {
 			continue
 		}
+		bid := topo.TileID(b)
 		bestVM, bestDist := vms[0], -1
 		for _, vm := range vms {
 			d := vmDistance(in, vm, bid)
@@ -341,7 +352,10 @@ func nextLeftover(in *Input, vms []VMID, owner map[topo.TileID]VMID) (topo.TileI
 	return 0, 0, false
 }
 
-// flatCurve is a zero-utility curve for VMs with no batch applications.
-func flatCurve(in *Input) mrc.Curve {
-	return mrc.New(in.Machine.WayBytes(), []float64{0, 0})
+// flatCurve is a zero-utility curve for VMs with no batch applications,
+// backed by the arena (nil falls back to the heap).
+func flatCurve(in *Input, a *mrc.Arena) mrc.Curve {
+	c := a.Curve(in.Machine.WayBytes(), 2)
+	c.M[0], c.M[1] = 0, 0
+	return c
 }

@@ -1,14 +1,12 @@
 package core
 
-import (
-	"jumanji/internal/topo"
-)
-
 // latCritResult reports what LatCritPlacer did.
 type latCritResult struct {
-	// claims maps each bank that received latency-critical data to the
-	// owning VM (used by JumanjiPlacer's bank-isolation step).
-	claims map[topo.TileID]VMID
+	// claims records, per bank, the VM whose latency-critical data landed
+	// there (-1 = none); used by JumanjiPlacer's bank-isolation step. Banks
+	// are few enough that a dense slice beats a map and keeps iteration
+	// deterministic.
+	claims []VMID
 	// unplaced is the total bytes that could not be placed (only possible
 	// when the machine is pathologically over-subscribed).
 	unplaced float64
@@ -27,21 +25,26 @@ type latCritResult struct {
 // Target sizes below one way's worth are raised to one way: every
 // registered application keeps a minimal allocation (the controllers
 // enforce the same floor).
-func latCritPlace(in *Input, pl *Placement, balance []float64, exclusivePerVM bool) latCritResult {
-	res := latCritResult{claims: make(map[topo.TileID]VMID)}
+//
+// s provides the claims slice, the latency-critical app list scratch, and
+// nothing else; pass a scratch freshly borrowed via getPlaceScratch (claims
+// all -1).
+func latCritPlace(in *Input, pl *Placement, balance []float64, exclusivePerVM bool, s *placeScratch) latCritResult {
+	res := latCritResult{claims: s.claims}
 	wayBytes := in.Machine.WayBytes()
-	for _, app := range in.LatCritApps() {
+	s.latApps = in.AppendLatCritApps(s.latApps[:0])
+	for _, app := range s.latApps {
 		spec := in.Apps[app]
 		remaining := in.LatSizes[app]
 		if remaining < wayBytes {
 			remaining = wayBytes
 		}
-		for _, b := range in.Machine.Mesh.BanksByDistance(spec.Core) {
+		for _, b := range in.Machine.Mesh.BanksByDistanceView(spec.Core) {
 			if remaining <= 0 {
 				break
 			}
 			if exclusivePerVM {
-				if vm, claimed := res.claims[b]; claimed && vm != spec.VM {
+				if vm := res.claims[b]; vm >= 0 && vm != spec.VM {
 					continue
 				}
 			}

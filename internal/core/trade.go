@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+
+	"jumanji/internal/mrc"
 )
 
 // TradePlacer implements the more sophisticated algorithm the paper
@@ -27,6 +29,29 @@ type TradePlacer struct {
 	// TradesAttempted and TradesAccepted count candidate evaluations and
 	// applied trades over this placer's lifetime.
 	TradesAttempted, TradesAccepted int
+
+	// Epoch-loop scratch (the placer has a pointer receiver, so it can keep
+	// its own). hulls caches one incremental HullUpdater per app: miss-ratio
+	// curves rarely change between epochs, so Update usually returns the
+	// cached hull without recomputing (bitwise-identical either way).
+	vms        []VMID
+	lat, batch []AppID
+	hulls      map[AppID]*mrc.HullUpdater
+}
+
+// hullOf returns the convex hull of app's miss-ratio curve via the placer's
+// per-app incremental updater. The returned curve aliases updater-owned
+// memory and is valid until the next hullOf call for the same app.
+func (p *TradePlacer) hullOf(in *Input, app AppID) mrc.Curve {
+	if p.hulls == nil {
+		p.hulls = make(map[AppID]*mrc.HullUpdater)
+	}
+	u := p.hulls[app]
+	if u == nil {
+		u = &mrc.HullUpdater{}
+		p.hulls[app] = u
+	}
+	return u.Update(in.Apps[app].MissRatio)
 }
 
 // Name implements Placer.
@@ -50,13 +75,14 @@ func (p *TradePlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	}
 
 	wayBytes := in.Machine.WayBytes()
-	for _, vm := range in.VMs() {
-		latApps, batchApps := in.AppsOf(vm)
-		if len(latApps) == 0 || len(batchApps) == 0 {
+	p.vms = in.AppendVMs(p.vms[:0])
+	for _, vm := range p.vms {
+		p.lat, p.batch = in.AppendAppsOf(p.lat[:0], p.batch[:0], vm)
+		if len(p.lat) == 0 || len(p.batch) == 0 {
 			continue
 		}
-		for _, lat := range latApps {
-			p.tradeForVM(in, pl, lat, batchApps, wayBytes, memLat, hopCycles)
+		for _, lat := range p.lat {
+			p.tradeForVM(in, pl, lat, p.batch, wayBytes, memLat, hopCycles)
 		}
 	}
 	return pl
@@ -116,7 +142,7 @@ func (p *TradePlacer) tradeForVM(in *Input, pl *Placement, lat AppID, batchApps 
 
 	// Required capacity compensation: missRatio(total+c) must improve
 	// enough that Δmiss × memLat ≥ ΔhitLat. Search in way steps.
-	curve := spec.MissRatio.ConvexHull()
+	curve := p.hullOf(in, lat)
 	missNow := curve.Eval(total)
 	comp := math.Inf(1)
 	for c := wayBytes; c <= 8*wayBytes; c += wayBytes {
@@ -132,7 +158,7 @@ func (p *TradePlacer) tradeForVM(in *Input, pl *Placement, lat AppID, batchApps 
 	// wayBytes in the near one; accept only if the donor's own benefit
 	// (closer data) outweighs its capacity loss.
 	donorSpec := in.Apps[donor]
-	donorCurve := donorSpec.MissRatio.ConvexHull()
+	donorCurve := p.hullOf(in, donor)
 	donorTotal := pl.TotalOf(donor)
 	missCost := (donorCurve.Eval(donorTotal-comp) - donorCurve.Eval(donorTotal)) * memLat
 	dDonorNear := float64(mesh.Hops(donorSpec.Core, nearBank))

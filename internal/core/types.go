@@ -94,6 +94,11 @@ func (in *Input) Validate() error {
 		if a.AccessRate < 0 {
 			return fmt.Errorf("core: app %d (%s) has negative access rate", i, a.Name)
 		}
+		if a.VM < 0 {
+			// Placers use -1 as the "no VM" sentinel in per-bank claim/owner
+			// tables, so real VM IDs must be non-negative.
+			return fmt.Errorf("core: app %d (%s) has negative VM id %d", i, a.Name, a.VM)
+		}
 		if a.LatencyCritical {
 			if _, ok := in.LatSizes[AppID(i)]; !ok {
 				return fmt.Errorf("core: latency-critical app %d (%s) has no LatSize", i, a.Name)
@@ -113,16 +118,29 @@ func (in *Input) Validate() error {
 
 // VMs returns the distinct VM IDs present, in ascending order.
 func (in *Input) VMs() []VMID {
-	seen := make(map[VMID]bool)
-	var out []VMID
+	return in.AppendVMs(nil)
+}
+
+// AppendVMs is VMs appending to dst (pass dst[:0] to reuse its backing across
+// epochs, per the Append protocol) and returning the extended slice. Dedup is
+// a linear scan over the appended region — VM counts are bounded by the bank
+// count, where the scan beats a map both in time and in allocation.
+func (in *Input) AppendVMs(dst []VMID) []VMID {
+	base := len(dst)
 	for _, a := range in.Apps {
-		if !seen[a.VM] {
-			seen[a.VM] = true
-			out = append(out, a.VM)
+		seen := false
+		for _, vm := range dst[base:] {
+			if vm == a.VM {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, a.VM)
 		}
 	}
-	sortVMIDs(out)
-	return out
+	sortVMIDs(dst[base:])
+	return dst
 }
 
 func sortVMIDs(v []VMID) {
@@ -135,39 +153,54 @@ func sortVMIDs(v []VMID) {
 
 // AppsOf returns the app IDs in vm, split into latency-critical and batch.
 func (in *Input) AppsOf(vm VMID) (latCrit, batch []AppID) {
+	return in.AppendAppsOf(nil, nil, vm)
+}
+
+// AppendAppsOf is AppsOf appending to latDst and batchDst (pass dst[:0] to
+// reuse backing across epochs, per the Append protocol) and returning the
+// extended slices.
+func (in *Input) AppendAppsOf(latDst, batchDst []AppID, vm VMID) (latCrit, batch []AppID) {
 	for i, a := range in.Apps {
 		if a.VM != vm {
 			continue
 		}
 		if a.LatencyCritical {
-			latCrit = append(latCrit, AppID(i))
+			latDst = append(latDst, AppID(i))
 		} else {
-			batch = append(batch, AppID(i))
+			batchDst = append(batchDst, AppID(i))
 		}
 	}
-	return latCrit, batch
+	return latDst, batchDst
 }
 
 // LatCritApps returns all latency-critical app IDs in app order.
 func (in *Input) LatCritApps() []AppID {
-	var out []AppID
+	return in.AppendLatCritApps(nil)
+}
+
+// AppendLatCritApps is LatCritApps under the Append protocol.
+func (in *Input) AppendLatCritApps(dst []AppID) []AppID {
 	for i, a := range in.Apps {
 		if a.LatencyCritical {
-			out = append(out, AppID(i))
+			dst = append(dst, AppID(i))
 		}
 	}
-	return out
+	return dst
 }
 
 // BatchApps returns all batch app IDs in app order.
 func (in *Input) BatchApps() []AppID {
-	var out []AppID
+	return in.AppendBatchApps(nil)
+}
+
+// AppendBatchApps is BatchApps under the Append protocol.
+func (in *Input) AppendBatchApps(dst []AppID) []AppID {
 	for i, a := range in.Apps {
 		if !a.LatencyCritical {
-			out = append(out, AppID(i))
+			dst = append(dst, AppID(i))
 		}
 	}
-	return out
+	return dst
 }
 
 // Placer is a complete LLC management design: it maps an Input to a

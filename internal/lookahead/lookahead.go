@@ -43,10 +43,29 @@ type Request struct {
 // minimum allocations alone exceed total, since callers size minima from the
 // same budget.
 func Allocate(total float64, reqs []Request) []float64 {
+	return AllocateInto(nil, total, reqs)
+}
+
+// AllocateInto is Allocate appending the per-request sizes to dst (pass
+// dst[:0] to reuse its backing across epochs) and returning the extended
+// slice. A warmed call allocates nothing.
+func AllocateInto(dst []float64, total float64, reqs []Request) []float64 {
 	if len(reqs) == 0 {
-		return nil
+		return dst
 	}
-	sizes := make([]float64, len(reqs))
+	base := len(dst)
+	need := base + len(reqs)
+	if cap(dst) < need {
+		grown := make([]float64, need) // alloc: ok — single growth, amortized away warm
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:need]
+		for i := base; i < need; i++ {
+			dst[i] = 0
+		}
+	}
+	sizes := dst[base:]
 	remaining := total
 	for i, r := range reqs {
 		if r.Min < 0 {
@@ -128,7 +147,7 @@ func Allocate(total float64, reqs []Request) []float64 {
 				}
 			}
 			if best < 0 || bestRate <= 0 {
-				return sizes
+				return dst
 			}
 			sizes[best] += steps[best]
 			remaining -= steps[best]
@@ -155,12 +174,12 @@ func Allocate(total float64, reqs []Request) []float64 {
 			}
 		}
 		if bestApp < 0 || bestRate <= 0 {
-			return sizes
+			return dst
 		}
 		sizes[bestApp] += bestJump
 		remaining -= bestJump
 		if remaining < minStep(reqs, step) {
-			return sizes
+			return dst
 		}
 	}
 }

@@ -1,0 +1,195 @@
+package mrc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tests for the zero-alloc *Into variants and the Arena: warmed calls must
+// not touch the heap, results must be bitwise identical to the allocating
+// versions, and ConvexHullInto must honour its no-aliasing guarantee.
+
+func testCurves() []Curve {
+	return []Curve{
+		New(1<<20, []float64{0.9, 0.5, 0.3, 0.2, 0.15, 0.12, 0.1}),
+		New(1<<20, []float64{0.8, 0.8, 0.8, 0.1, 0.1}), // cliff
+		New(1<<20, []float64{0.7}),
+		New(1<<20, []float64{0.5, 0.6, 0.4, 0.7, 0.2, 0.9, 0.1}), // non-monotone
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntoMatchesAllocating(t *testing.T) {
+	for _, c := range testCurves() {
+		dst := make([]float64, len(c.M))
+		if got, want := c.CloneInto(dst), c.Clone(); !bitsEqual(got.M, want.M) {
+			t.Errorf("CloneInto mismatch: %v vs %v", got.M, want.M)
+		}
+		if got, want := c.ScaleInto(dst, 3.5), c.Scale(3.5); !bitsEqual(got.M, want.M) {
+			t.Errorf("ScaleInto mismatch: %v vs %v", got.M, want.M)
+		}
+		if got, want := c.ConvexHullInto(dst), c.ConvexHull(); !bitsEqual(got.M, want.M) {
+			t.Errorf("ConvexHullInto mismatch: %v vs %v", got.M, want.M)
+		}
+	}
+	cs := testCurves()
+	want := Combine(cs...)
+	got := CombineInto(make([]float64, len(want.M)), cs...)
+	if !bitsEqual(got.M, want.M) {
+		t.Errorf("CombineInto mismatch: %v vs %v", got.M, want.M)
+	}
+}
+
+// TestConvexHullIntoNoAlias pins the documented guarantee: even when the
+// caller passes the curve's own backing array as dst, the result never
+// aliases the input (the input is left untouched).
+func TestConvexHullIntoNoAlias(t *testing.T) {
+	c := New(1, []float64{0.5, 0.6, 0.4, 0.7, 0.2})
+	orig := append([]float64(nil), c.M...)
+	want := c.ConvexHull()
+	got := c.ConvexHullInto(c.M)
+	if !bitsEqual(c.M, orig) {
+		t.Fatalf("ConvexHullInto(c.M) mutated its input: %v, want %v", c.M, orig)
+	}
+	if !bitsEqual(got.M, want.M) {
+		t.Fatalf("ConvexHullInto(c.M) = %v, want %v", got.M, want.M)
+	}
+	if len(got.M) > 0 && len(c.M) > 0 && &got.M[0] == &c.M[0] {
+		t.Fatal("ConvexHullInto(c.M) returned a curve aliasing its input")
+	}
+}
+
+func TestAllocGuardInto(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; guarded by the non-race CI step")
+	}
+	c := New(1<<20, []float64{0.9, 0.5, 0.3, 0.2, 0.15, 0.12, 0.1})
+	dst := make([]float64, len(c.M))
+	var out Curve
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"CloneInto", func() { out = c.CloneInto(dst) }},
+		{"ScaleInto", func() { out = c.ScaleInto(dst, 2) }},
+		{"ConvexHullInto", func() { out = c.ConvexHullInto(dst) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s allocated %v times per call, want 0", tc.name, allocs)
+		}
+	}
+	allocSink = out.M[0]
+
+	cs := testCurves()
+	total := 0
+	for _, cc := range cs {
+		total += len(cc.M) - 1
+	}
+	cdst := make([]float64, total+1)
+	if allocs := testing.AllocsPerRun(200, func() {
+		out = CombineInto(cdst, cs...)
+	}); allocs != 0 {
+		t.Errorf("CombineInto allocated %v times per call, want 0 (pooled scratch)", allocs)
+	}
+	allocSink = out.M[0]
+}
+
+func TestAllocGuardArena(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; guarded by the non-race CI step")
+	}
+	var a Arena
+	c := New(1<<20, []float64{0.9, 0.5, 0.3, 0.2, 0.15, 0.12, 0.1})
+	// Warm the arena slabs once.
+	a.Reset()
+	_ = a.ConvexHull(c)
+	_ = a.Scale(c, 2)
+	var out Curve
+	if allocs := testing.AllocsPerRun(200, func() {
+		a.Reset()
+		out = a.ConvexHull(a.Scale(c, 2))
+	}); allocs != 0 {
+		t.Errorf("Arena Scale+ConvexHull allocated %v times per call, want 0", allocs)
+	}
+	allocSink = out.M[0]
+}
+
+func TestAllocGuardHullUpdater(t *testing.T) {
+	c := New(1<<20, []float64{0.9, 0.5, 0.3, 0.2, 0.15, 0.12, 0.1})
+	var u HullUpdater
+	u.Update(c) // warm: sizes the internal buffers
+	var out Curve
+	if allocs := testing.AllocsPerRun(200, func() {
+		out = u.Update(c)
+	}); allocs != 0 {
+		t.Errorf("HullUpdater.Update allocated %v times per call, want 0", allocs)
+	}
+	allocSink = out.M[0]
+}
+
+// TestHullUpdaterMatchesFull drives a HullUpdater through random mutation
+// sequences and pins, at every step, bitwise equality with the full
+// from-scratch ConvexHull — the property that lets the epoch loop use the
+// incremental path without perturbing any figure.
+func TestHullUpdaterMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = rng.Float64()
+		}
+		c := New(1, pts)
+		var u HullUpdater
+		for step := 0; step < 30; step++ {
+			want := c.ConvexHull()
+			got := u.Update(c)
+			if !bitsEqual(got.M, want.M) {
+				t.Fatalf("trial %d step %d: incremental hull %v, want %v (raw %v)",
+					trial, step, got.M, want.M, c.M)
+			}
+			// Mutate: mostly small point edits (the incremental fast path),
+			// sometimes nothing (the cached path), rarely a reshuffle.
+			switch r := rng.Float64(); {
+			case r < 0.2: // no change — must hit the cached-output path
+			case r < 0.9:
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					c.M[rng.Intn(n)] = rng.Float64()
+				}
+			default:
+				for i := range c.M {
+					c.M[i] = rng.Float64()
+				}
+			}
+		}
+	}
+}
+
+// TestHullUpdaterReset checks that an updater survives curve length and unit
+// changes by falling back to a full recompute.
+func TestHullUpdaterReset(t *testing.T) {
+	var u HullUpdater
+	a := New(1, []float64{0.9, 0.2, 0.8, 0.1})
+	b := New(2, []float64{0.5, 0.6, 0.4, 0.7, 0.2, 0.3})
+	for i := 0; i < 3; i++ {
+		if got, want := u.Update(a), a.ConvexHull(); !bitsEqual(got.M, want.M) || got.Unit != want.Unit {
+			t.Fatalf("after switch to a: got %v (unit %g), want %v (unit %g)", got.M, got.Unit, want.M, want.Unit)
+		}
+		if got, want := u.Update(b), b.ConvexHull(); !bitsEqual(got.M, want.M) || got.Unit != want.Unit {
+			t.Fatalf("after switch to b: got %v (unit %g), want %v (unit %g)", got.M, got.Unit, want.M, want.Unit)
+		}
+	}
+}

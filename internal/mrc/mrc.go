@@ -14,8 +14,6 @@ package mrc
 import (
 	"fmt"
 	"math"
-	"sort"
-	"sync"
 )
 
 // Curve is a sampled miss curve. M[i] is the miss rate (conventionally misses
@@ -24,6 +22,18 @@ import (
 // need not be monotone (LRU curves are, but set conflicts can produce
 // non-monotone measured curves); algorithms that require convexity take the
 // hull first.
+//
+// Aliasing contract: Curve is a value type with reference semantics — the
+// struct copies on assignment but M is shared backing. Methods returning a
+// Curve therefore come in two flavors. Clone, Scale, Monotone, ConvexHull
+// and Combine always return freshly allocated backing that aliases nothing.
+// The *Into variants (CloneInto, ScaleInto, ConvexHullInto, CombineInto)
+// write into caller-provided backing — typically from an Arena — and the
+// returned curve aliases that backing. ConvexHullInto additionally guarantees
+// its result never aliases its input: passing the receiver's own M as dst is
+// detected and falls back to a fresh allocation (see
+// TestConvexHullIntoNoAlias), so the input curve is never clobbered by the
+// in-place monotone/resample passes.
 type Curve struct {
 	Unit float64   // bytes of capacity per step
 	M    []float64 // miss rate at each multiple of Unit
@@ -76,24 +86,16 @@ func (c Curve) Eval(size float64) float64 {
 	return c.M[lo]*(1-frac) + c.M[lo+1]*frac
 }
 
-// Clone returns a deep copy of the curve.
+// Clone returns a deep copy of the curve. The copy never aliases the
+// receiver's backing.
 func (c Curve) Clone() Curve {
-	m := make([]float64, len(c.M))
-	copy(m, c.M)
-	return Curve{Unit: c.Unit, M: m}
+	return c.CloneInto(make([]float64, len(c.M)))
 }
 
 // Scale returns a copy of the curve with every miss rate multiplied by f.
-// It panics if f is negative.
+// It panics if f is negative. The copy never aliases the receiver's backing.
 func (c Curve) Scale(f float64) Curve {
-	if f < 0 {
-		panic("mrc: negative scale factor")
-	}
-	out := c.Clone()
-	for i := range out.M {
-		out.M[i] *= f
-	}
-	return out
+	return c.ScaleInto(make([]float64, len(c.M)), f)
 }
 
 // Validate checks the curve invariants the allocation algorithms rely on:
@@ -149,46 +151,7 @@ func (c Curve) Monotone() Curve {
 // DRRIP) that removes performance cliffs; the paper uses it as DRRIP's miss
 // curve (Sec. IV-A).
 func (c Curve) ConvexHull() Curve {
-	mono := c.Monotone()
-	n := len(mono.M)
-	if n <= 2 {
-		return mono
-	}
-	// Andrew's monotone chain over points (i, M[i]), keeping the lower hull.
-	type pt struct{ x, y float64 }
-	hull := make([]pt, 0, n)
-	for i := 0; i < n; i++ {
-		p := pt{float64(i), mono.M[i]}
-		for len(hull) >= 2 {
-			a, b := hull[len(hull)-2], hull[len(hull)-1]
-			// Remove b if it lies on or above segment a-p (non-convex turn).
-			if (b.y-a.y)*(p.x-a.x) >= (p.y-a.y)*(b.x-a.x) {
-				hull = hull[:len(hull)-1]
-			} else {
-				break
-			}
-		}
-		hull = append(hull, p)
-	}
-	// Re-sample the hull back onto the original grid, writing over mono's
-	// copy in place: the hull vertices hold their own y values, so mono.M is
-	// no longer read, and Monotone already gave us a private clone.
-	out := mono
-	seg := 0
-	for i := 0; i < n; i++ {
-		x := float64(i)
-		for seg < len(hull)-2 && hull[seg+1].x <= x {
-			seg++
-		}
-		a, b := hull[seg], hull[min(seg+1, len(hull)-1)]
-		if a.x == b.x {
-			out.M[i] = a.y
-			continue
-		}
-		t := (x - a.x) / (b.x - a.x)
-		out.M[i] = a.y + t*(b.y-a.y)
-	}
-	return out
+	return c.ConvexHullInto(make([]float64, len(c.M)))
 }
 
 // IsConvex reports whether the curve is convex (discrete second differences
@@ -236,47 +199,12 @@ func Combine(curves ...Curve) Curve {
 	if len(curves) == 0 {
 		panic("mrc: Combine of no curves")
 	}
-	unit := curves[0].Unit
 	totalSteps := 0
 	for _, c := range curves {
-		if c.Unit != unit {
-			panic("mrc: Combine on mismatched units")
-		}
 		totalSteps += len(c.M) - 1
 	}
-	// Gather each hull's per-step miss reduction into pooled scratch —
-	// Combine runs once per VM per epoch, so the gains buffer is reused
-	// across calls rather than reallocated. Convexity makes each hull's list
-	// non-increasing, so a single global descending merge is optimal.
-	gp := gainsPool.Get().(*[]float64)
-	gains := (*gp)[:0]
-	base := 0.0
-	for _, c := range curves {
-		h := c.ConvexHull()
-		base += h.M[0]
-		for i := 1; i < len(h.M); i++ {
-			gains = append(gains, h.M[i-1]-h.M[i])
-		}
-	}
-	// Ascending sort (the specialized float64 path), consumed back-to-front:
-	// same descending order of values as sorting descending, without the
-	// interface indirection of sort.Reverse.
-	sort.Float64s(gains)
-	out := make([]float64, totalSteps+1)
-	out[0] = base
-	for i := range gains {
-		g := gains[len(gains)-1-i]
-		out[i+1] = out[i] - g
-		if out[i+1] < 0 {
-			out[i+1] = 0 // guard against float drift
-		}
-	}
-	*gp = gains
-	gainsPool.Put(gp)
-	return Curve{Unit: unit, M: out}
+	return CombineInto(make([]float64, totalSteps+1), curves...)
 }
-
-var gainsPool = sync.Pool{New: func() any { return new([]float64) }}
 
 func min(a, b int) int {
 	if a < b {

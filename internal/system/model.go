@@ -62,8 +62,9 @@ func (a *appState) setPhase(epoch, phaseEpochs int) {
 type queueState struct {
 	sim      *tailbench.QueueSim
 	workKI   float64
-	deadline float64 // cycles
-	lambda   float64 // arrivals per cycle
+	deadline float64   // cycles
+	lambda   float64   // arrivals per cycle
+	lats     []float64 // per-epoch latency scratch, reused via RunEpochAppend
 }
 
 // assocFactor maps a partition's way count to its effective-capacity

@@ -238,7 +238,8 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			} else {
 				q := a.queue
 				meanService := q.workKI * 1000 * p.CPI
-				lats := q.sim.RunEpoch(cycles, meanService)
+				q.lats = q.sim.RunEpochAppend(q.lats[:0], cycles, meanService)
+				lats := q.lats
 				if qctrls != nil {
 					// Little's law: average waiting-queue depth = arrival
 					// rate × mean waiting time. With no completions at all
@@ -405,7 +406,7 @@ func isolatedP95(cfg Config, p *tailbench.Profile, meanService float64) float64 
 	sim.SetRate(p.HighQPS / cfg.FreqHz)
 	var lats []float64
 	for len(lats) < 4000 {
-		lats = append(lats, sim.RunEpoch(cfg.EpochCycles(), meanService)...)
+		lats = sim.RunEpochAppend(lats, cfg.EpochCycles(), meanService)
 	}
 	return stats.Percentile(lats, cfg.Feedback.Percentile)
 }

@@ -128,7 +128,7 @@ func BuildVMWorkload(m core.Machine, vms []VMSpec, mix []workload.Profile, highL
 	mixNext := 0
 	for vmIdx, vm := range vms {
 		anchor := corners[vmIdx%len(corners)]
-		order := m.Mesh.BanksByDistance(anchor)
+		order := m.Mesh.BanksByDistanceView(anchor)
 		take := func() topo.TileID {
 			for _, c := range order {
 				if !used[c] {

@@ -107,7 +107,13 @@ type QueueSim struct {
 	now         float64
 	nextArrival float64
 	serverFree  float64
-	queue       []float64 // arrival times of requests not yet started
+
+	// queue[qhead:] holds arrival times of requests not yet started. Popping
+	// advances qhead instead of reslicing away the front, so the backing
+	// array is reused across epochs (it resets to empty whenever the queue
+	// drains, and compacts in place before any growth).
+	queue []float64
+	qhead int
 
 	// ServiceCV is the coefficient of variation of service times: 0 gives
 	// deterministic service, 1 matches exponential-like variability.
@@ -157,41 +163,63 @@ func (q *QueueSim) service(mean float64) float64 {
 }
 
 // QueueLen returns the number of requests waiting (not yet in service).
-func (q *QueueSim) QueueLen() int { return len(q.queue) }
+func (q *QueueSim) QueueLen() int { return len(q.queue) - q.qhead }
+
+// pushArrival enqueues one arrival time, compacting the drained front of the
+// backing array in place rather than growing past it.
+func (q *QueueSim) pushArrival(t float64) {
+	if q.qhead > 0 && len(q.queue) == cap(q.queue) {
+		n := copy(q.queue, q.queue[q.qhead:])
+		q.queue = q.queue[:n]
+		q.qhead = 0
+	}
+	q.queue = append(q.queue, t)
+}
 
 // RunEpoch advances the simulation by `cycles`, serving requests with mean
 // service time meanServiceCycles (reflecting this epoch's CPI), and returns
 // the response latencies (queueing + service, in cycles) of requests that
-// completed during the epoch.
+// completed during the epoch. The result is freshly allocated; epoch loops
+// that run every epoch should pass a reused scratch slice to RunEpochAppend
+// instead.
 func (q *QueueSim) RunEpoch(cycles, meanServiceCycles float64) []float64 {
+	return q.RunEpochAppend(nil, cycles, meanServiceCycles)
+}
+
+// RunEpochAppend is RunEpoch appending the completed requests' latencies to
+// dst (pass dst[:0] to reuse its backing across epochs) and returning the
+// extended slice. All internal buffers are reused across calls, so a warmed
+// simulator allocates nothing once dst has reached its high-water capacity.
+func (q *QueueSim) RunEpochAppend(dst []float64, cycles, meanServiceCycles float64) []float64 {
 	if cycles <= 0 || meanServiceCycles <= 0 {
 		panic("tailbench: RunEpoch needs positive cycles and service time")
 	}
 	end := q.now + cycles
-	var latencies []float64
 	for {
 		// Admit all arrivals up to the next service start or epoch end.
 		for q.nextArrival <= end {
-			q.queue = append(q.queue, q.nextArrival)
+			q.pushArrival(q.nextArrival)
 			q.nextArrival += q.exp(1 / q.lambda)
 		}
-		if len(q.queue) == 0 {
+		if q.qhead == len(q.queue) {
+			q.queue = q.queue[:0]
+			q.qhead = 0
 			break
 		}
-		start := q.queue[0]
+		start := q.queue[q.qhead]
 		if q.serverFree > start {
 			start = q.serverFree
 		}
 		if start >= end {
 			break // next request starts in a future epoch
 		}
-		arrival := q.queue[0]
-		q.queue = q.queue[1:]
+		arrival := q.queue[q.qhead]
+		q.qhead++
 		finish := start + q.service(meanServiceCycles)
 		q.serverFree = finish
 		q.Completed++
-		latencies = append(latencies, finish-arrival)
+		dst = append(dst, finish-arrival)
 	}
 	q.now = end
-	return latencies
+	return dst
 }

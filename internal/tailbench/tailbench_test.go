@@ -222,3 +222,49 @@ func assertPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+// TestRunEpochAppendMatches pins RunEpochAppend to RunEpoch bitwise: the
+// ring-buffer queue must not perturb RNG draw order or latency values.
+func TestRunEpochAppendMatches(t *testing.T) {
+	mk := func() *QueueSim {
+		q := NewQueueSim(99)
+		q.SetRate(0.002)
+		return q
+	}
+	a, b := mk(), mk()
+	var scratch []float64
+	for i := 0; i < 50; i++ {
+		want := a.RunEpoch(1e5, 1200)
+		scratch = b.RunEpochAppend(scratch[:0], 1e5, 1200)
+		if len(want) != len(scratch) {
+			t.Fatalf("epoch %d: %d latencies vs %d", i, len(scratch), len(want))
+		}
+		for j := range want {
+			if math.Float64bits(want[j]) != math.Float64bits(scratch[j]) {
+				t.Fatalf("epoch %d latency %d: %v vs %v", i, j, scratch[j], want[j])
+			}
+		}
+		if a.QueueLen() != b.QueueLen() {
+			t.Fatalf("epoch %d: queue depth %d vs %d", i, b.QueueLen(), a.QueueLen())
+		}
+	}
+}
+
+// TestAllocGuardTailbenchEpoch guards the simulator's hot path: a warmed
+// RunEpochAppend call must be allocation-free (the latency slice and the
+// arrival ring are both reused).
+func TestAllocGuardTailbenchEpoch(t *testing.T) {
+	q := NewQueueSim(7)
+	q.SetRate(0.002)
+	var lats []float64
+	for i := 0; i < 10; i++ { // warm the ring and the latency scratch
+		lats = q.RunEpochAppend(lats[:0], 1e5, 1200)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		lats = q.RunEpochAppend(lats[:0], 1e5, 1200)
+	})
+	if allocs != 0 {
+		t.Errorf("RunEpochAppend allocated %v times per epoch, want 0", allocs)
+	}
+	_ = stats.Mean(lats)
+}

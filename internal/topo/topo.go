@@ -23,8 +23,21 @@ type Point struct {
 
 // Mesh is a W×H grid of tiles with X-Y dimension-ordered routing.
 // Tile IDs are assigned row-major: tile (x, y) has ID y*W + x.
+//
+// Meshes built by NewMesh carry a memoized distance-ordering table (tab);
+// a zero-value Mesh literal still works, falling back to computing orderings
+// on demand. The table is behind a pointer so Mesh stays a cheap copyable
+// value.
 type Mesh struct {
 	W, H int
+	tab  *distTable
+}
+
+// distTable memoizes, for every source tile, all tile IDs sorted by hop
+// distance (ties by ID). Rows are built once at NewMesh and only ever read
+// afterwards; BanksByDistanceView hands them out as shared read-only views.
+type distTable struct {
+	order [][]TileID // order[from] = tiles sorted by distance from `from`
 }
 
 // NewMesh returns a mesh of the given dimensions.
@@ -33,7 +46,17 @@ func NewMesh(w, h int) Mesh {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("topo: invalid mesh %dx%d", w, h))
 	}
-	return Mesh{W: w, H: h}
+	m := Mesh{W: w, H: h}
+	n := m.Tiles()
+	tab := &distTable{order: make([][]TileID, n)}
+	flat := make([]TileID, n*n) // one backing array for all rows
+	for from := 0; from < n; from++ {
+		row := flat[from*n : (from+1)*n : (from+1)*n]
+		m.sortBanksByDistance(row, TileID(from))
+		tab.order[from] = row
+	}
+	m.tab = tab
+	return m
 }
 
 // Tiles returns the number of tiles in the mesh.
@@ -88,9 +111,38 @@ func (m Mesh) Route(a, b TileID) []TileID {
 // BanksByDistance returns all tile IDs ordered by hop distance from tile
 // `from`, closest first. Ties are broken by tile ID so the ordering is
 // deterministic; this is the sortBanksByDistance step of Listing 2.
+// The returned slice is freshly allocated and the caller may mutate it;
+// hot paths that only iterate should use BanksByDistanceView instead.
 func (m Mesh) BanksByDistance(from TileID) []TileID {
 	m.check(from)
 	banks := make([]TileID, m.Tiles())
+	if m.tab != nil {
+		copy(banks, m.tab.order[from])
+		return banks
+	}
+	m.sortBanksByDistance(banks, from)
+	return banks
+}
+
+// BanksByDistanceView is BanksByDistance without the copy: meshes built by
+// NewMesh return a shared row of the memoized table, computed once at
+// construction. The caller must treat the slice as read-only — mutating it
+// corrupts every future caller's ordering. Zero-value meshes fall back to
+// allocating a fresh sorted slice.
+func (m Mesh) BanksByDistanceView(from TileID) []TileID {
+	m.check(from)
+	if m.tab != nil {
+		return m.tab.order[from]
+	}
+	banks := make([]TileID, m.Tiles())
+	m.sortBanksByDistance(banks, from)
+	return banks
+}
+
+// sortBanksByDistance fills banks (length Tiles()) with all tile IDs sorted
+// by hop distance from `from`, ties by ID. (hops, id) is a total order, so
+// the unstable sort.Slice yields a unique — hence deterministic — permutation.
+func (m Mesh) sortBanksByDistance(banks []TileID, from TileID) {
 	for i := range banks {
 		banks[i] = TileID(i)
 	}
@@ -101,7 +153,6 @@ func (m Mesh) BanksByDistance(from TileID) []TileID {
 		}
 		return banks[i] < banks[j]
 	})
-	return banks
 }
 
 // Corners returns the four corner tiles of the mesh in the order

@@ -194,3 +194,73 @@ func TestAvgHopsPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestBanksByDistanceViewMatches pins the memoized view to the sorting path:
+// same permutation from every source tile, and the copying BanksByDistance
+// must return the table rows verbatim.
+func TestBanksByDistanceViewMatches(t *testing.T) {
+	m := NewMesh(5, 4)
+	for from := 0; from < m.Tiles(); from++ {
+		view := m.BanksByDistanceView(TileID(from))
+		copied := m.BanksByDistance(TileID(from))
+		// Reference: re-sort from scratch on a table-less mesh.
+		ref := (&Mesh{W: 5, H: 4}).BanksByDistance(TileID(from))
+		if len(view) != len(ref) {
+			t.Fatalf("from %d: view has %d banks, want %d", from, len(view), len(ref))
+		}
+		for i := range ref {
+			if view[i] != ref[i] || copied[i] != ref[i] {
+				t.Fatalf("from %d index %d: view %d copy %d, want %d", from, i, view[i], copied[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestBanksByDistanceViewZeroValue checks the fallback for meshes built
+// without NewMesh (zero value or struct literal): still correct, just slow.
+func TestBanksByDistanceViewZeroValue(t *testing.T) {
+	m := &Mesh{W: 3, H: 3}
+	banks := m.BanksByDistanceView(4)
+	if len(banks) != 9 || banks[0] != 4 {
+		t.Fatalf("zero-value view = %v", banks)
+	}
+}
+
+func TestAllocGuardBanksByDistanceView(t *testing.T) {
+	m := NewMesh(8, 8)
+	var sink TileID
+	allocs := testing.AllocsPerRun(200, func() {
+		for from := 0; from < m.Tiles(); from++ {
+			row := m.BanksByDistanceView(TileID(from))
+			sink = row[len(row)-1]
+		}
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Errorf("BanksByDistanceView allocated %v times per sweep, want 0", allocs)
+	}
+}
+
+// BenchmarkBanksByDistance compares the memoized view against the
+// sort-per-call path it replaced (the epoch loop asks for an ordering per
+// placed app per reconfiguration).
+func BenchmarkBanksByDistance(b *testing.B) {
+	m := NewMesh(8, 8)
+	b.Run("view", func(b *testing.B) {
+		var sink TileID
+		for i := 0; i < b.N; i++ {
+			row := m.BanksByDistanceView(TileID(i % m.Tiles()))
+			sink = row[0]
+		}
+		_ = sink
+	})
+	b.Run("sort", func(b *testing.B) {
+		un := &Mesh{W: 8, H: 8} // table-less: sorts every call
+		var sink TileID
+		for i := 0; i < b.N; i++ {
+			row := un.BanksByDistance(TileID(i % un.Tiles()))
+			sink = row[0]
+		}
+		_ = sink
+	})
+}
