@@ -31,13 +31,14 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		fig      = flag.Int("fig", 0, "figure number to regenerate (4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18)")
+		fig      = flag.Int("fig", 0, "figure number to regenerate (4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18, 19)")
 		table    = flag.Int("table", 0, "table number to regenerate (1, 2, 3)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		paper    = flag.Bool("paper", false, "use the paper's protocol scale (40 mixes; slow)")
 		toCSV    = flag.Bool("csv", false, "emit the figure's series as CSV (figures 4, 8, 12, 17, 18)")
 		parallel = flag.Int("parallel", 0, "worker count for fanning mixes/designs/sweep points across cores (0 = one per CPU, 1 = serial; output is identical either way)")
 		seed     = flag.Int64("seed", 1, "base seed for workload and arrival randomness")
+		mesh     = flag.String("mesh", "", "override the machine topology as WxH (default: the paper's 5x4); Fig. 19 sweeps its own meshes and ignores this")
 	)
 	var sinks obs.CLI
 	sinks.RegisterFlags(flag.CommandLine)
@@ -62,6 +63,13 @@ func run() int {
 	}
 	o.Seed = *seed
 	o.Parallel = *parallel
+	if *mesh != "" {
+		var err error
+		if o.MeshW, o.MeshH, err = parseDims(*mesh); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 2
+		}
+	}
 	o.Metrics, o.Events, o.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
 	o.TS = sinks.TS()
 	o.Spans = sinks.Spans()
@@ -70,14 +78,17 @@ func run() int {
 	// The journal fingerprint covers everything that shapes a cell's
 	// identity or its journalled sink state, so a resume against a journal
 	// written under a different protocol or sink set is refused.
-	fingerprint := fmt.Sprintf("figures|mixes=%d|epochs=%d|warmup=%d|seed=%d|metrics=%t|events=%t|trace=%t|tsdb=%t",
-		o.Mixes, o.Epochs, o.Warmup, o.Seed,
+	fingerprint := fmt.Sprintf("figures|mixes=%d|epochs=%d|warmup=%d|seed=%d|mesh=%dx%d|metrics=%t|events=%t|trace=%t|tsdb=%t",
+		o.Mixes, o.Epochs, o.Warmup, o.Seed, o.MeshW, o.MeshH,
 		o.Metrics != nil, o.Events != nil, o.Trace != nil, o.TS != nil)
 	var curArgs string // the -fig/-table flags of the sweep now running
 	repro := func(label string, cell int) string {
 		scale := ""
 		if *paper {
 			scale = " -paper"
+		}
+		if *mesh != "" {
+			scale += " -mesh " + *mesh
 		}
 		return fmt.Sprintf("figures%s%s -seed %d -cell '%s:%d'", curArgs, scale, o.Seed, label, cell)
 	}
@@ -138,7 +149,7 @@ func run() int {
 
 	switch {
 	case *all:
-		for _, f := range []int{4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18} {
+		for _, f := range []int{4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18, 19} {
 			f := f
 			render(fmt.Sprintf(" -fig %d", f), func() int { return renderFig(f, o) })
 		}
@@ -219,11 +230,21 @@ func renderFig(n int, o harness.Options) int {
 		harness.RenderFig17(w, harness.Fig17(o))
 	case 18:
 		harness.RenderFig18(w, harness.Fig18(o))
+	case 19:
+		harness.RenderFig19(w, harness.Fig19(o))
 	default:
-		fmt.Fprintf(os.Stderr, "figures: no figure %d (the paper's evaluation figures are 4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18)\n", n)
+		fmt.Fprintf(os.Stderr, "figures: no figure %d (the paper's evaluation figures are 4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18; 19 is the big-topology scaling study)\n", n)
 		return 2
 	}
 	return 0
+}
+
+// parseDims parses a "WxH" topology flag.
+func parseDims(s string) (w, h int, err error) {
+	if n, _ := fmt.Sscanf(s, "%dx%d", &w, &h); n != 2 || w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("invalid mesh %q (want WxH, e.g. 16x16)", s)
+	}
+	return w, h, nil
 }
 
 func renderTable(n int, o harness.Options) int {

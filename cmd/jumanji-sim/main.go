@@ -8,6 +8,7 @@
 //	jumanji-sim -design jumanji -lc xapian
 //	jumanji-sim -design jigsaw -lc mixed -load low -epochs 120
 //	jumanji-sim -design all -vms 12 -seed 3
+//	jumanji-sim -design jumanji -lc datacenter -mesh 16x16 -shard 4x4
 //	jumanji-sim -design all -events out.jsonl -tracefile out.trace.json
 //	jumanji-sim -design all -journal run.journal -keep-going
 //
@@ -34,13 +35,15 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		designFlag = flag.String("design", "jumanji", "design to run: static, adaptive, vm-part, jigsaw, jumanji, insecure, ideal, or 'all'")
-		lc         = flag.String("lc", "xapian", "latency-critical app (masstree, xapian, img-dnn, silo, moses) or 'mixed'")
+		lc         = flag.String("lc", "xapian", "latency-critical app (masstree, xapian, img-dnn, silo, moses), 'mixed', or 'datacenter' (mesh-proportional VM fleet)")
 		load       = flag.String("load", "high", "latency-critical load: high (~50% util) or low (~10%)")
 		epochs     = flag.Int("epochs", 60, "number of 100 ms reconfiguration epochs")
 		warmup     = flag.Int("warmup", 20, "epochs excluded from statistics")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		vms        = flag.Int("vms", 4, "VM count: 4 runs the standard case study; 1, 2, 5, 10, 12 run the Fig. 17 splits")
 		router     = flag.Int("router", 2, "NoC router delay in cycles (1-3)")
+		mesh       = flag.String("mesh", "5x4", "mesh topology WxH (Table II: 5x4; big meshes pair with -lc datacenter and -shard)")
+		shard      = flag.String("shard", "", "hierarchical D-NUCA placement region WxH (e.g. 4x4); empty = flat placement")
 		perApp     = flag.Bool("apps", false, "print per-application metrics")
 		asJSON     = flag.Bool("json", false, "emit results as JSON")
 		par        = flag.Int("parallel", 0, "worker count for fanning design runs across cores (0 = one per CPU, 1 = serial; output is identical either way)")
@@ -62,6 +65,17 @@ func run() int {
 	opts := jumanji.DefaultOptions()
 	opts.Epochs, opts.Warmup, opts.Seed = *epochs, *warmup, *seed
 	opts.RouterDelay = *router
+	var err error
+	if opts.MeshW, opts.MeshH, err = parseDims(*mesh); err != nil {
+		fmt.Fprintln(os.Stderr, "jumanji-sim:", err)
+		return 2
+	}
+	if *shard != "" {
+		if opts.ShardRegionW, opts.ShardRegionH, err = parseDims(*shard); err != nil {
+			fmt.Fprintln(os.Stderr, "jumanji-sim:", err)
+			return 2
+		}
+	}
 	opts.HighLoad = *load != "low"
 	opts.Parallel = *par
 	opts.Metrics, opts.Events, opts.Trace = sinks.Registry(), sinks.Events(), sinks.Trace()
@@ -69,12 +83,17 @@ func run() int {
 	opts.Spans = sinks.Spans()
 	opts.Progress = status.Tracker()
 
-	fingerprint := fmt.Sprintf("jumanji-sim|design=%s|lc=%s|load=%s|epochs=%d|warmup=%d|seed=%d|vms=%d|router=%d|metrics=%t|events=%t|trace=%t|tsdb=%t",
+	fingerprint := fmt.Sprintf("jumanji-sim|design=%s|lc=%s|load=%s|epochs=%d|warmup=%d|seed=%d|vms=%d|router=%d|mesh=%dx%d|shard=%dx%d|metrics=%t|events=%t|trace=%t|tsdb=%t",
 		strings.ToLower(*designFlag), *lc, *load, *epochs, *warmup, *seed, *vms, *router,
+		opts.MeshW, opts.MeshH, opts.ShardRegionW, opts.ShardRegionH,
 		opts.Metrics != nil, opts.Events != nil, opts.Trace != nil, opts.TS != nil)
 	repro := func(label string, cell int) string {
-		return fmt.Sprintf("jumanji-sim -design %s -lc %s -load %s -epochs %d -warmup %d -seed %d -vms %d -router %d -cell '%s:%d'",
-			*designFlag, *lc, *load, *epochs, *warmup, *seed, *vms, *router, label, cell)
+		extra := ""
+		if *shard != "" {
+			extra = " -shard " + *shard
+		}
+		return fmt.Sprintf("jumanji-sim -design %s -lc %s -load %s -epochs %d -warmup %d -seed %d -vms %d -router %d -mesh %s%s -cell '%s:%d'",
+			*designFlag, *lc, *load, *epochs, *warmup, *seed, *vms, *router, *mesh, extra, label, cell)
 	}
 	engine, inj, err := resil.Build(*seed, fingerprint, repro)
 	if err != nil {
@@ -206,6 +225,9 @@ func run() int {
 }
 
 func workloadBuilder(lc string, vms int, seed int64) func(jumanji.Options) (jumanji.Workload, error) {
+	if strings.EqualFold(lc, "datacenter") {
+		return jumanji.Datacenter(seed)
+	}
 	if vms != 4 {
 		return jumanji.Scaling(vms, seed)
 	}
@@ -213,6 +235,14 @@ func workloadBuilder(lc string, vms int, seed int64) func(jumanji.Options) (juma
 		return jumanji.MixedCaseStudy(seed)
 	}
 	return jumanji.CaseStudy(lc, seed)
+}
+
+// parseDims parses a "WxH" topology flag.
+func parseDims(s string) (w, h int, err error) {
+	if n, _ := fmt.Sscanf(s, "%dx%d", &w, &h); n != 2 || w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("invalid dimensions %q (want WxH, e.g. 16x16)", s)
+	}
+	return w, h, nil
 }
 
 func fatal(err error) int {

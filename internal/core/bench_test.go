@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -50,15 +51,38 @@ func BenchmarkPlacementOps(b *testing.B) {
 	_ = sink
 }
 
-// BenchmarkPlacerPlace measures a full JumanjiPlacer reconfiguration —
-// the per-epoch cost the scratch-reuse protocol amortizes.
+// BenchmarkPlacerPlace measures a full Jumanji reconfiguration — the
+// per-epoch cost the scratch-reuse protocol amortizes — across topology
+// sizes. The 5x4 sub-benchmark is the paper machine; the big meshes compare
+// the flat placer (superlinear in banks×apps) against the hierarchical
+// ShardedPlacer with default regions, whose cost is near-linear in regions.
+// The ISSUE 8 acceptance bar: sharded 16x16 is ≥5× faster than flat 16x16.
 func BenchmarkPlacerPlace(b *testing.B) {
-	rng := rand.New(rand.NewSource(42))
-	in := testWorkload(4, 4, rng)
-	p := JumanjiPlacer{}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.Place(in)
+	runOn := func(b *testing.B, m Machine, p ScratchPlacer) {
+		rng := rand.New(rand.NewSource(42))
+		nVMs := m.Banks() / 9
+		if nVMs < 4 {
+			nVMs = 4
+		}
+		in := testWorkloadOn(m, nVMs, 4, rng)
+		pl := NewPlacement(m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.PlaceInto(in, pl)
+		}
+	}
+	b.Run("5x4", func(b *testing.B) {
+		runOn(b, DefaultMachine(), JumanjiPlacer{})
+	})
+	for _, dim := range []int{8, 12, 16} {
+		m := Machine{Mesh: topo.NewMesh(dim, dim), BankBytes: 1 << 20, WaysPerBank: 32}
+		name := fmt.Sprintf("%dx%d", dim, dim)
+		b.Run(name+"/flat", func(b *testing.B) {
+			runOn(b, m, JumanjiPlacer{})
+		})
+		b.Run(name+"/sharded", func(b *testing.B) {
+			runOn(b, m, ShardedPlacer{})
+		})
 	}
 }

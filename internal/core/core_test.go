@@ -13,7 +13,12 @@ import (
 // one latency-critical app (low access rate) and nBatch batch apps, threads
 // clustered per VM.
 func testWorkload(nVMs, nBatch int, rng *rand.Rand) *Input {
-	m := DefaultMachine()
+	return testWorkloadOn(DefaultMachine(), nVMs, nBatch, rng)
+}
+
+// testWorkloadOn is testWorkload on an arbitrary machine — the big-mesh
+// scaling tests and benchmarks grow the same workload shape with the mesh.
+func testWorkloadOn(m Machine, nVMs, nBatch int, rng *rand.Rand) *Input {
 	in := &Input{Machine: m, LatSizes: make(map[AppID]float64)}
 	corners := m.Mesh.Corners()
 	for vm := 0; vm < nVMs; vm++ {

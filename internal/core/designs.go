@@ -33,17 +33,26 @@ func (s StaticPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	}
 	pl.Reset(in.Machine)
 	lat := in.LatCritApps()
-	usedWays := 0
+	// Fleet-scale fallback: with enough latency-critical apps (datacenter
+	// meshes host dozens) the fixed per-app ways exceed the associativity, so
+	// split the ways left after the batch pool's one-way reserve equally
+	// instead. The exact historical behaviour is kept whenever the fixed
+	// allocation fits.
+	waysPerApp := float64(ways)
+	if avail := float64(in.Machine.WaysPerBank - 1); waysPerApp*float64(len(lat)) > avail {
+		if avail <= 0 {
+			panic(fmt.Sprintf("core: Static design has no ways left for batch (%d LC apps × %d ways)", len(lat), ways))
+		}
+		waysPerApp = avail / float64(len(lat))
+	}
+	usedWays := 0.0
 	for _, app := range lat {
-		bytes := float64(ways) * in.Machine.WayBytes() * float64(in.Machine.Banks())
+		bytes := waysPerApp * in.Machine.WayBytes() * float64(in.Machine.Banks())
 		stripe(in, pl, app, bytes)
-		usedWays += ways
+		usedWays += waysPerApp
 	}
-	poolWays := in.Machine.WaysPerBank - usedWays
-	if poolWays < 1 {
-		panic(fmt.Sprintf("core: Static design has no ways left for batch (%d LC apps × %d ways)", len(lat), ways))
-	}
-	placeSharedBatchPool(in, pl, in.BatchApps(), float64(poolWays))
+	poolWays := float64(in.Machine.WaysPerBank) - usedWays
+	placeSharedBatchPool(in, pl, in.BatchApps(), poolWays)
 	return pl
 }
 
@@ -110,7 +119,19 @@ func (VMPartPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 		})
 	}
 	s.reqs = reqs
-	s.sizes = lookahead.AllocateInto(s.sizes[:0], poolWays*wayStripeBytes(in), reqs)
+	poolBytes := poolWays * wayStripeBytes(in)
+	// Fleet-scale fallback: with more batch VMs than spare ways (datacenter
+	// meshes) the one-way-per-VM minimum is infeasible; scale the quantum
+	// down so every VM still gets an equal guaranteed sliver. The historical
+	// whole-way behaviour is untouched whenever it was feasible.
+	if minTotal := wayStripeBytes(in) * float64(len(reqs)); minTotal > poolBytes {
+		scale := poolBytes / minTotal
+		for i := range reqs {
+			reqs[i].Min *= scale
+			reqs[i].Step *= scale
+		}
+	}
+	s.sizes = lookahead.AllocateInto(s.sizes[:0], poolBytes, reqs)
 	for i, vm := range vmsWithBatch {
 		s.lat, s.batch = in.AppendAppsOf(s.lat[:0], s.batch[:0], vm)
 		vmWaysPerBank := s.sizes[i] / wayStripeBytes(in)

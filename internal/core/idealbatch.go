@@ -25,8 +25,23 @@ func (p IdealBatchPlacer) Place(in *Input) *Placement {
 }
 
 // PlaceInto implements ScratchPlacer.
-func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
+func (p IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	mustValidate(in)
+	// The same safety valve as JumanjiPlacer: fleet-scale controller demand
+	// (dozens of latency-critical apps on a datacenter mesh) can exceed the
+	// LLC; scale the targets down and retry. The first attempt is the
+	// historical behaviour bit for bit.
+	scaled := *in
+	for attempt := 0; attempt < 16; attempt++ {
+		if p.place(&scaled, pl) {
+			return pl
+		}
+		scaled = shrinkLatSizes(scaled, 0.9)
+	}
+	panic("core: Ideal Batch could not place latency-critical data")
+}
+
+func (IdealBatchPlacer) place(in *Input, pl *Placement) bool {
 	pl.Reset(in.Machine)
 	s := getPlaceScratch(in.Machine)
 	defer putPlaceScratch(s)
@@ -34,7 +49,7 @@ func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 
 	latRes := latCritPlace(in, pl, balance, true, s)
 	if latRes.unplaced > 0 {
-		panic("core: Ideal Batch could not place latency-critical data")
+		return false
 	}
 	latTotal := 0.0
 	for _, app := range s.latApps {
@@ -64,7 +79,7 @@ func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 		})
 	}
 	if len(vmList) == 0 {
-		return pl
+		return true
 	}
 	if float64(len(vmList))*in.Machine.BankBytes > budget {
 		// Degenerate: latency-critical data consumed nearly everything.
@@ -117,5 +132,5 @@ func (IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 			pl.SetOverlay(app)
 		}
 	}
-	return pl
+	return true
 }

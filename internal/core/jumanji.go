@@ -295,6 +295,18 @@ func (p JumanjiPlacer) placeBatchWithin(in *Input, pl *Placement, s *placeScratc
 		})
 	}
 	s.reqs = reqs
+	// Fleet-scale fallback: a VM squeezed into a capacity sliver smaller
+	// than one way per app (possible inside small ShardedPlacer regions)
+	// scales the quantum down instead of tripping lookahead's minima check.
+	// Infeasible minima previously panicked, so the historical allocation is
+	// bitwise-unchanged whenever it existed.
+	if minTotal := wayBytes * float64(len(batch)); minTotal > capacity {
+		scale := capacity / minTotal
+		for i := range reqs {
+			reqs[i].Min *= scale
+			reqs[i].Step *= scale
+		}
+	}
 	s.sizes = lookahead.AllocateInto(s.sizes[:0], capacity, reqs)
 	s.order = appendByDescendingRate(s.order[:0], in, batch)
 	for _, pos := range s.order {
@@ -312,6 +324,9 @@ func (p JumanjiPlacer) placeBatchInsecure(in *Input, pl *Placement, s *placeScra
 	capacity := 0.0
 	for _, b := range balance {
 		capacity += b
+	}
+	if capacity <= 0 {
+		return
 	}
 	p.placeBatchWithin(in, pl, s, balance, s.batch, capacity, nil)
 }

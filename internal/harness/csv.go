@@ -75,6 +75,21 @@ func CSV(w io.Writer, fig int, o Options) error {
 			rows[i] = []float64{float64(r.RouterDelay), r.Speedup}
 		}
 		return WriteCSV(w, []string{"router_cycles", "speedup"}, rows)
+	case 19:
+		res := Fig19(o)
+		header := []string{"tiles"}
+		var rows [][]float64
+		for _, r := range res {
+			if len(rows) == 0 || rows[len(rows)-1][0] != float64(r.MeshW*r.MeshH) {
+				rows = append(rows, []float64{float64(r.MeshW * r.MeshH)})
+			}
+			last := len(rows) - 1
+			if last == 0 {
+				header = append(header, r.Design+"_speedup", r.Design+"_sloviol", r.Design+"_moved")
+			}
+			rows[last] = append(rows[last], r.Speedup, r.SLOViolFrac, r.ReconfigMoved)
+		}
+		return WriteCSV(w, header, rows)
 	}
-	return fmt.Errorf("harness: figure %d has no CSV form (series figures: 4, 8, 12, 17, 18)", fig)
+	return fmt.Errorf("harness: figure %d has no CSV form (series figures: 4, 8, 12, 17, 18, 19)", fig)
 }

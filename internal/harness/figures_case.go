@@ -83,7 +83,18 @@ func Fig4(o Options) Fig4Result {
 // Render prints the timelines as aligned columns.
 func (r Fig4Result) Render(w io.Writer) {
 	header(w, "Fig. 4", "Case-study behaviour over time: (a) xapian latency / deadline, (b) xapian LLC allocation (MB), (c) potential attackers per access.")
-	for part, series := range map[string][][]float64{"(a) latency/deadline": r.LatNorm, "(b) allocation MB": r.AllocMB, "(c) vulnerability": r.Vuln} {
+	// Panels render in the figure's (a)/(b)/(c) order — a map literal here
+	// would interleave them nondeterministically across runs.
+	panels := []struct {
+		part   string
+		series [][]float64
+	}{
+		{"(a) latency/deadline", r.LatNorm},
+		{"(b) allocation MB", r.AllocMB},
+		{"(c) vulnerability", r.Vuln},
+	}
+	for _, p := range panels {
+		part, series := p.part, p.series
 		fmt.Fprintf(w, "%s\n%-8s", part, "epoch")
 		for _, d := range r.Designs {
 			fmt.Fprintf(w, "%14s", d)

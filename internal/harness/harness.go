@@ -30,6 +30,7 @@ import (
 	"jumanji/internal/sweep"
 	"jumanji/internal/system"
 	"jumanji/internal/tailbench"
+	"jumanji/internal/topo"
 )
 
 // Options scales the experiment protocol.
@@ -37,6 +38,12 @@ type Options struct {
 	// Mixes is the number of random batch mixes per configuration
 	// (the paper uses 40).
 	Mixes int
+	// MeshW×MeshH overrides the machine topology for every figure (both
+	// zero — the default — keeps the paper's 5×4). Figures with their own
+	// topology sweep (Fig. 19) ignore it. Big meshes run the paper's fixed
+	// 20-app workloads on a larger chip; pair with the D-NUCA designs only
+	// if the superlinear flat-placement cost is acceptable.
+	MeshW, MeshH int
 	// Epochs and Warmup control each run's length.
 	Epochs, Warmup int
 	// Seed seeds mix generation and arrivals.
@@ -110,6 +117,9 @@ func (o Options) validate() {
 	if o.Mixes <= 0 || o.Epochs <= 0 || o.Warmup < 0 || o.Warmup >= o.Epochs {
 		panic(fmt.Sprintf("harness: invalid options %+v", o))
 	}
+	if (o.MeshW > 0) != (o.MeshH > 0) || o.MeshW < 0 || o.MeshH < 0 {
+		panic(fmt.Sprintf("harness: invalid mesh override %dx%d", o.MeshW, o.MeshH))
+	}
 }
 
 // systemConfig returns the default machine configuration with the
@@ -118,6 +128,9 @@ func (o Options) validate() {
 // them.
 func (o Options) systemConfig() system.Config {
 	cfg := system.DefaultConfig()
+	if o.MeshW > 0 && o.MeshH > 0 {
+		cfg.Machine.Mesh = topo.NewMesh(o.MeshW, o.MeshH)
+	}
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
 	cfg.TS = o.TS
 	cfg.Spans = o.Spans

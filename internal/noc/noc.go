@@ -70,6 +70,12 @@ type Network struct {
 	eng   *sim.Engine
 	links map[edge]*sim.Server
 
+	// routeFree recycles route buffers across messages: Send pops one (or
+	// allocates on a cold start), holds it for the message's lifetime, and the
+	// delivery branch pushes it back. The engine is single-threaded, so no
+	// locking; steady-state traffic routes without touching the heap.
+	routeFree [][]topo.TileID
+
 	// Delivered counts messages that completed traversal.
 	Delivered uint64
 
@@ -130,7 +136,11 @@ func (n *Network) Send(from, to topo.TileID, payloadBytes int, done func(latency
 		}
 		return
 	}
-	route := n.mesh.Route(from, to)
+	var buf []topo.TileID
+	if k := len(n.routeFree); k > 0 {
+		buf, n.routeFree = n.routeFree[k-1][:0], n.routeFree[:k-1]
+	}
+	route := n.mesh.RouteAppend(buf, from, to)
 	flits := sim.Time(n.cfg.Flits(payloadBytes))
 	var hop func(i int)
 	hop = func(i int) {
@@ -139,6 +149,7 @@ func (n *Network) Send(from, to topo.TileID, payloadBytes int, done func(latency
 			n.obsDelivered.Inc()
 			n.obsHops.Add(uint64(len(route) - 1))
 			n.obsLatency.Observe(float64(n.eng.Now() - start))
+			n.routeFree = append(n.routeFree, route)
 			if done != nil {
 				done(n.eng.Now() - start)
 			}

@@ -65,6 +65,12 @@ type RunResult struct {
 	// TotalInstructions is the run's executed instruction count (batch and
 	// latency-critical), for per-instruction energy normalization.
 	TotalInstructions float64
+	// ReconfigMoved is the mean fraction of cached data a reconfiguration
+	// re-homes (per-app MovedFraction averaged over apps, then over
+	// post-warmup reconfigurations) — the Sec. IV-A background coherence
+	// walk's cost, and the reconfiguration-cost axis of the big-mesh
+	// sensitivity figure.
+	ReconfigMoved float64
 	// Timeline holds per-epoch samples.
 	Timeline []EpochSample
 }
@@ -114,10 +120,12 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 		sumAlloc     = make([]float64, len(apps))
 		sumHops      = make([]float64, len(apps))
 		sumVuln      = make([]float64, len(apps))
-		counts       energy.Counts
-		measured     int
-		totalVulnW   float64
-		totalVulnAcc float64
+		counts           energy.Counts
+		measured         int
+		totalVulnW       float64
+		totalVulnAcc     float64
+		reconfigMovedSum float64
+		reconfigCount    int
 	)
 
 	// Timeline samples index one flat slab per series instead of a pair of
@@ -197,6 +205,14 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			}
 		}
 		checkEpochInvariants(&cfg, in, pl, epoch, reconfigured, boundary)
+		if reconfigured && prevForModel != nil && epoch >= warmup {
+			moved := 0.0
+			for i := range apps {
+				moved += pl.MovedFraction(core.AppID(i), prevForModel)
+			}
+			reconfigMovedSum += moved / float64(len(apps))
+			reconfigCount++
+		}
 		// The span covers the whole per-epoch model step: performance and
 		// vulnerability evaluation for every app under the epoch's placement.
 		var modelSp obs.Span
@@ -325,6 +341,9 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 	}
 	if totalVulnW > 0 {
 		res.Vulnerability = totalVulnAcc / totalVulnW
+	}
+	if reconfigCount > 0 {
+		res.ReconfigMoved = reconfigMovedSum / float64(reconfigCount)
 	}
 	res.Energy = cfg.Energy.Energy(counts)
 	observer.observeEnd(res)

@@ -192,6 +192,49 @@ func MixedLCWorkload(m core.Machine, rng *rand.Rand, highLoad bool) (Workload, e
 	return BuildVMWorkload(m, vms, mix, highLoad)
 }
 
+// DatacenterWorkload scales the paper's VM environment with the mesh: one VM
+// per ~9 tiles (at least the paper's 4), each with one latency-critical
+// application — cycling through the TailBench profiles — and four batch
+// applications drawn from a random SPEC mix. VM anchors stripe across the
+// tile space (corners alone cannot seed 20+ VMs), and each VM's threads
+// cluster greedily around its anchor, so trust domains stay local the way
+// the Fig. 2 quadrant layout is local on the 5×4 chip.
+func DatacenterWorkload(m core.Machine, rng *rand.Rand, highLoad bool) (Workload, error) {
+	nVMs := m.Banks() / 9
+	if nVMs < 4 {
+		nVMs = 4
+	}
+	mix := workload.RandomMix(rng, 4*nVMs)
+	var w Workload
+	used := make(map[topo.TileID]bool)
+	mixNext := 0
+	for vmIdx := 0; vmIdx < nVMs; vmIdx++ {
+		anchor := topo.TileID(vmIdx * m.Banks() / nVMs)
+		order := m.Mesh.BanksByDistanceView(anchor)
+		take := func() topo.TileID {
+			for _, c := range order {
+				if !used[c] {
+					used[c] = true
+					return c
+				}
+			}
+			panic("system: ran out of cores")
+		}
+		prof := tailbench.Profiles[vmIdx%len(tailbench.Profiles)]
+		w.Apps = append(w.Apps, AppConfig{
+			VM: core.VMID(vmIdx), Core: take(), LatCrit: &prof, HighLoad: highLoad,
+		})
+		for b := 0; b < 4; b++ {
+			bprof := mix[mixNext]
+			mixNext++
+			w.Apps = append(w.Apps, AppConfig{
+				VM: core.VMID(vmIdx), Core: take(), Batch: &bprof,
+			})
+		}
+	}
+	return w, nil
+}
+
 // ScalingWorkload builds the Fig. 17 configurations: the same 4 LC + 16
 // batch applications divided into nVMs trust domains. Valid nVMs values
 // divide the 20 applications into whole VMs (1, 2, 4, 5, 10, 12 — 12 is the

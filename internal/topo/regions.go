@@ -1,0 +1,175 @@
+package topo
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RegionID indexes a region of a partitioned mesh.
+type RegionID int
+
+// Regions is a partition of a mesh into contiguous rectangular sub-meshes
+// ("regions"), the locality domains hierarchical placement shards over.
+// Regions tile the mesh in a row-major grid of at-most rw×rh blocks; blocks
+// on the right and bottom edges may be smaller when the dimensions do not
+// divide evenly. Every tile belongs to exactly one region, and every region
+// is itself a rectangle, so each region carries its own Mesh (with its own
+// memoized distance table) and placement algorithms run inside it unchanged.
+//
+// A Regions value is immutable after construction; Partition memoizes them
+// per (mesh dims, region dims), so repeated placements on the same topology
+// share one instance and pay the construction cost once.
+type Regions struct {
+	w, h   int // parent mesh dimensions
+	rw, rh int // nominal region dimensions
+	cols   int // region-grid width (rows is len(meshes)/cols)
+
+	regionOf []RegionID // per parent tile
+	local    []TileID   // per parent tile: its ID inside its region's mesh
+	meshes   []Mesh     // per region
+	origin   []Point    // per region: top-left corner in parent coordinates
+	tiles    [][]TileID // per region: parent tile IDs, ascending
+}
+
+// partitionCache memoizes Regions by (w, h, rw, rh). Region maps are pure
+// functions of the four dimensions and building one costs O(tiles²) for the
+// sub-mesh distance tables, so every placement epoch on a given topology
+// must not rebuild it.
+var (
+	partitionMu    sync.Mutex
+	partitionCache = map[[4]int]*Regions{}
+)
+
+// Partition splits mesh m into contiguous regions of at most rw×rh tiles.
+// Dimensions are clamped to the mesh (rw ≥ m.W means one column of regions),
+// and non-positive dimensions panic. The result is shared and read-only.
+func Partition(m Mesh, rw, rh int) *Regions {
+	if rw <= 0 || rh <= 0 {
+		panic(fmt.Sprintf("topo: invalid region dims %dx%d", rw, rh))
+	}
+	if rw > m.W {
+		rw = m.W
+	}
+	if rh > m.H {
+		rh = m.H
+	}
+	key := [4]int{m.W, m.H, rw, rh}
+	partitionMu.Lock()
+	defer partitionMu.Unlock()
+	if r, ok := partitionCache[key]; ok {
+		return r
+	}
+	r := buildPartition(m, rw, rh)
+	partitionCache[key] = r
+	return r
+}
+
+func buildPartition(m Mesh, rw, rh int) *Regions {
+	cols := (m.W + rw - 1) / rw
+	rows := (m.H + rh - 1) / rh
+	n := cols * rows
+	r := &Regions{
+		w: m.W, h: m.H, rw: rw, rh: rh, cols: cols,
+		regionOf: make([]RegionID, m.Tiles()),
+		local:    make([]TileID, m.Tiles()),
+		meshes:   make([]Mesh, n),
+		origin:   make([]Point, n),
+		tiles:    make([][]TileID, n),
+	}
+	// Sub-meshes of equal dimensions share one memoized distance table.
+	byDims := map[Point]Mesh{}
+	for ry := 0; ry < rows; ry++ {
+		for rx := 0; rx < cols; rx++ {
+			id := ry*cols + rx
+			ox, oy := rx*rw, ry*rh
+			w := min(rw, m.W-ox)
+			h := min(rh, m.H-oy)
+			dims := Point{X: w, Y: h}
+			sub, ok := byDims[dims]
+			if !ok {
+				sub = NewMesh(w, h)
+				byDims[dims] = sub
+			}
+			r.meshes[id] = sub
+			r.origin[id] = Point{X: ox, Y: oy}
+			r.tiles[id] = make([]TileID, 0, w*h)
+		}
+	}
+	for t := 0; t < m.Tiles(); t++ {
+		p := m.Coord(TileID(t))
+		rx, ry := p.X/rw, p.Y/rh
+		id := RegionID(ry*cols + rx)
+		r.regionOf[t] = id
+		o := r.origin[id]
+		r.local[t] = r.meshes[id].ID(Point{X: p.X - o.X, Y: p.Y - o.Y})
+		r.tiles[id] = append(r.tiles[id], TileID(t))
+	}
+	return r
+}
+
+// NumRegions returns the number of regions.
+func (r *Regions) NumRegions() int { return len(r.meshes) }
+
+// RegionOf returns the region holding parent tile t.
+func (r *Regions) RegionOf(t TileID) RegionID { return r.regionOf[t] }
+
+// Mesh returns region id's own mesh. Regions of equal dimensions share one
+// Mesh value (and its memoized distance table).
+func (r *Regions) Mesh(id RegionID) Mesh { return r.meshes[id] }
+
+// Banks returns the number of tiles in region id.
+func (r *Regions) Banks(id RegionID) int { return r.meshes[id].Tiles() }
+
+// Tiles returns region id's parent tile IDs in ascending order. The slice is
+// shared and read-only.
+func (r *Regions) Tiles(id RegionID) []TileID { return r.tiles[id] }
+
+// Local translates parent tile t into its ID on its region's mesh.
+func (r *Regions) Local(t TileID) TileID { return r.local[t] }
+
+// Global translates region id's local tile back to the parent mesh.
+func (r *Regions) Global(id RegionID, local TileID) TileID {
+	sub := r.meshes[id]
+	p := sub.Coord(local)
+	o := r.origin[id]
+	return TileID((o.Y+p.Y)*r.w + o.X + p.X)
+}
+
+// Nearest returns the tile of region id closest (in hops) to parent tile t,
+// as a local tile ID. For an axis-aligned rectangle the clamp of t's
+// coordinates into the region is the unique hop-minimal tile, so the result
+// is deterministic without a distance scan.
+func (r *Regions) Nearest(id RegionID, t TileID) TileID {
+	p := Point{X: int(t) % r.w, Y: int(t) / r.w}
+	o := r.origin[id]
+	sub := r.meshes[id]
+	return sub.ID(Point{X: clamp(p.X-o.X, 0, sub.W-1), Y: clamp(p.Y-o.Y, 0, sub.H-1)})
+}
+
+// Distance returns the hop distance from parent tile t to the closest tile
+// of region id (0 when t is inside the region).
+func (r *Regions) Distance(id RegionID, t TileID) int {
+	p := Point{X: int(t) % r.w, Y: int(t) / r.w}
+	o := r.origin[id]
+	sub := r.meshes[id]
+	dx := clamp(p.X-o.X, 0, sub.W-1) + o.X - p.X
+	dy := clamp(p.Y-o.Y, 0, sub.H-1) + o.Y - p.Y
+	return abs(dx) + abs(dy)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package topo
+
+import (
+	"testing"
+)
+
+func partitionCases() []struct {
+	w, h, rw, rh int
+} {
+	return []struct{ w, h, rw, rh int }{
+		{5, 4, 8, 8},   // region larger than mesh → single region
+		{6, 6, 6, 6},   // exact single region (the paper mesh)
+		{6, 6, 3, 3},   // even 2×2 region grid
+		{8, 8, 8, 8},   // single big region
+		{8, 8, 4, 4},   // even 2×2 grid of 4×4
+		{12, 12, 8, 8}, // ragged right/bottom edges (8+4)
+		{16, 16, 8, 8}, // even 2×2 grid of 8×8
+		{3, 5, 2, 2},   // rectangular mesh, ragged both ways
+	}
+}
+
+// TestPartitionInvariants checks the ISSUE-mandated region-map invariants:
+// every bank lands in exactly one region, every region is a contiguous
+// rectangle of the parent mesh, and the Local/Global coordinate translations
+// round-trip.
+func TestPartitionInvariants(t *testing.T) {
+	for _, c := range partitionCases() {
+		m := NewMesh(c.w, c.h)
+		regs := Partition(m, c.rw, c.rh)
+
+		seen := make([]int, m.Tiles())
+		total := 0
+		for id := RegionID(0); int(id) < regs.NumRegions(); id++ {
+			sub := regs.Mesh(id)
+			tiles := regs.Tiles(id)
+			if len(tiles) != sub.Tiles() || regs.Banks(id) != sub.Tiles() {
+				t.Fatalf("%dx%d/%dx%d region %d: %d tiles listed, sub-mesh has %d",
+					c.w, c.h, c.rw, c.rh, id, len(tiles), sub.Tiles())
+			}
+			// Contiguous rectangle: the tile set must be exactly the bounding
+			// box of its members, and tiles must be ascending.
+			minX, minY, maxX, maxY := c.w, c.h, -1, -1
+			for i, gt := range tiles {
+				if i > 0 && tiles[i-1] >= gt {
+					t.Fatalf("region %d tiles not ascending", id)
+				}
+				p := m.Coord(gt)
+				if p.X < minX {
+					minX = p.X
+				}
+				if p.X > maxX {
+					maxX = p.X
+				}
+				if p.Y < minY {
+					minY = p.Y
+				}
+				if p.Y > maxY {
+					maxY = p.Y
+				}
+				if regs.RegionOf(gt) != id {
+					t.Fatalf("tile %d listed in region %d but RegionOf says %d", gt, id, regs.RegionOf(gt))
+				}
+				seen[gt]++
+				total++
+			}
+			if (maxX-minX+1)*(maxY-minY+1) != len(tiles) {
+				t.Fatalf("%dx%d/%dx%d region %d: tiles do not fill their %dx%d bounding box — not a contiguous rectangle",
+					c.w, c.h, c.rw, c.rh, id, maxX-minX+1, maxY-minY+1)
+			}
+			if sub.W != maxX-minX+1 || sub.H != maxY-minY+1 {
+				t.Fatalf("region %d sub-mesh %dx%d does not match bounding box %dx%d",
+					id, sub.W, sub.H, maxX-minX+1, maxY-minY+1)
+			}
+			// Local/Global round-trip both ways.
+			for _, gt := range tiles {
+				if back := regs.Global(id, regs.Local(gt)); back != gt {
+					t.Fatalf("region %d: Global(Local(%d)) = %d", id, gt, back)
+				}
+			}
+			for lt := 0; lt < sub.Tiles(); lt++ {
+				gt := regs.Global(id, TileID(lt))
+				if regs.Local(gt) != TileID(lt) {
+					t.Fatalf("region %d: Local(Global(%d)) = %d", id, lt, regs.Local(gt))
+				}
+			}
+		}
+		if total != m.Tiles() {
+			t.Fatalf("%dx%d/%dx%d: regions cover %d tiles, mesh has %d", c.w, c.h, c.rw, c.rh, total, m.Tiles())
+		}
+		for tID, n := range seen {
+			if n != 1 {
+				t.Fatalf("%dx%d/%dx%d: tile %d appears in %d regions, want exactly 1", c.w, c.h, c.rw, c.rh, tID, n)
+			}
+		}
+	}
+}
+
+// TestRegionsNearestDistance cross-checks the clamp-based Nearest/Distance
+// against a brute-force minimum over the region's tiles.
+func TestRegionsNearestDistance(t *testing.T) {
+	for _, c := range partitionCases() {
+		m := NewMesh(c.w, c.h)
+		regs := Partition(m, c.rw, c.rh)
+		for id := RegionID(0); int(id) < regs.NumRegions(); id++ {
+			for from := 0; from < m.Tiles(); from++ {
+				t0 := TileID(from)
+				// Brute force: closest tile in the region, ties by global ID.
+				bestHops, bestTile := m.Tiles()+1, TileID(-1)
+				for _, gt := range regs.Tiles(id) {
+					if h := m.Hops(t0, gt); h < bestHops {
+						bestHops, bestTile = h, gt
+					}
+				}
+				if got := regs.Distance(id, t0); got != bestHops {
+					t.Fatalf("%dx%d/%dx%d: Distance(region %d, tile %d) = %d, want %d",
+						c.w, c.h, c.rw, c.rh, id, from, got, bestHops)
+				}
+				near := regs.Global(id, regs.Nearest(id, t0))
+				if m.Hops(t0, near) != bestHops {
+					t.Fatalf("%dx%d/%dx%d: Nearest(region %d, tile %d) = %d at %d hops, want %d hops (e.g. tile %d)",
+						c.w, c.h, c.rw, c.rh, id, from, near, m.Hops(t0, near), bestHops, bestTile)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionMemoized pins the once-per-mesh construction cost: the same
+// dimensions must return the same shared instance.
+func TestPartitionMemoized(t *testing.T) {
+	m := NewMesh(12, 12)
+	a := Partition(m, 8, 8)
+	b := Partition(m, 8, 8)
+	if a != b {
+		t.Fatal("Partition did not memoize: two calls returned distinct instances")
+	}
+	// Oversized region dims clamp to the mesh and share the single-region map.
+	c := Partition(m, 99, 99)
+	d := Partition(m, 12, 12)
+	if c != d {
+		t.Fatal("clamped region dims not canonicalised to the mesh dimensions")
+	}
+	if c.NumRegions() != 1 {
+		t.Fatalf("oversized region dims gave %d regions, want 1", c.NumRegions())
+	}
+}
+
+func TestPartitionPanicsOnInvalidDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition(0, 4) did not panic")
+		}
+	}()
+	Partition(NewMesh(4, 4), 0, 4)
+}

@@ -92,20 +92,30 @@ func (m Mesh) Hops(a, b TileID) int {
 }
 
 // Route returns the sequence of tiles a flit visits travelling from a to b
-// under X-Y dimension-ordered routing, including both endpoints.
+// under X-Y dimension-ordered routing, including both endpoints. The slice is
+// freshly allocated; per-message hot paths use RouteAppend with a recycled
+// buffer instead.
 func (m Mesh) Route(a, b TileID) []TileID {
+	return m.RouteAppend(make([]TileID, 0, m.Hops(a, b)+1), a, b)
+}
+
+// RouteAppend is Route under the Append protocol: the path is appended to dst
+// (pass dst[:0] to reuse its backing across messages) and the extended slice
+// is returned. Once dst has grown to the mesh's diameter it is never regrown,
+// so a warmed buffer makes routing allocation-free (TestAllocGuardRoute).
+func (m Mesh) RouteAppend(dst []TileID, a, b TileID) []TileID {
 	pa, pb := m.Coord(a), m.Coord(b)
-	path := []TileID{a}
+	dst = append(dst, a)
 	cur := pa
 	for cur.X != pb.X {
 		cur.X += sign(pb.X - cur.X)
-		path = append(path, m.ID(cur))
+		dst = append(dst, m.ID(cur))
 	}
 	for cur.Y != pb.Y {
 		cur.Y += sign(pb.Y - cur.Y)
-		path = append(path, m.ID(cur))
+		dst = append(dst, m.ID(cur))
 	}
-	return path
+	return dst
 }
 
 // BanksByDistance returns all tile IDs ordered by hop distance from tile

@@ -129,6 +129,25 @@ func (d Design) placer() core.Placer {
 	panic(fmt.Sprintf("jumanji: invalid design %d", int(d)))
 }
 
+// placerFor returns d's placer, wrapped hierarchically when sharding is
+// enabled. Only the bank-placing D-NUCA designs decompose by region; the
+// S-NUCA designs (Static, Adaptive, VM-Part) stripe data across the whole
+// chip by construction, and the ideal-batch bound needs the global overlay,
+// so those always run flat.
+func (o Options) placerFor(d Design) core.Placer {
+	if o.ShardRegionW <= 0 && o.ShardRegionH <= 0 {
+		return d.placer()
+	}
+	switch d {
+	case Jigsaw, Jumanji, JumanjiInsecure:
+		return core.ShardedPlacer{
+			Inner:   d.placer().(core.ScratchPlacer),
+			RegionW: o.ShardRegionW, RegionH: o.ShardRegionH,
+		}
+	}
+	return d.placer()
+}
+
 // Options configures the simulated machine and run length. The zero value
 // is not meaningful; start from DefaultOptions.
 type Options struct {
@@ -145,6 +164,15 @@ type Options struct {
 	// HighLoad selects the Table III high-QPS (≈50% utilization) operating
 	// point for latency-critical applications; false selects low (≈10%).
 	HighLoad bool
+	// ShardRegionW×ShardRegionH, when positive, runs the D-NUCA designs
+	// (Jigsaw and the Jumanji variants) hierarchically: the mesh is
+	// partitioned into contiguous regions of at most these dimensions, VMs
+	// are assigned to regions, and the flat placer runs within each region
+	// (core.ShardedPlacer). Zero (the default) keeps flat placement —
+	// required for byte-identical historical figures; sharding is what makes
+	// 100s-of-banks meshes affordable. A dimension left zero while the other
+	// is set defaults to core.DefaultRegionDim.
+	ShardRegionW, ShardRegionH int
 	// Epochs is the number of 100 ms reconfiguration epochs to simulate,
 	// and Warmup how many of them are excluded from statistics.
 	Epochs, Warmup int
@@ -228,6 +256,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("jumanji: invalid bank geometry (%g MB, %d ways)", o.BankMB, o.Ways)
 	case o.RouterDelay <= 0:
 		return fmt.Errorf("jumanji: invalid router delay %d", o.RouterDelay)
+	case o.ShardRegionW < 0 || o.ShardRegionH < 0:
+		return fmt.Errorf("jumanji: invalid shard region %dx%d", o.ShardRegionW, o.ShardRegionH)
 	case o.Epochs <= 0 || o.Warmup < 0 || o.Warmup >= o.Epochs:
 		return fmt.Errorf("jumanji: invalid epochs/warmup %d/%d", o.Epochs, o.Warmup)
 	}
@@ -349,6 +379,25 @@ func MixedCaseStudy(seed int64) func(Options) (Workload, error) {
 	}
 }
 
+// Datacenter builds the big-mesh scaling workload: one VM per ~9 tiles (at
+// least 4), each with one latency-critical application cycling through the
+// TailBench profiles and four random batch applications. On the paper's 5×4
+// machine this degenerates to the familiar 4-VM shape; on a 16×16 mesh it
+// fills the chip with 28 trust domains.
+func Datacenter(seed int64) func(Options) (Workload, error) {
+	return func(opts Options) (Workload, error) {
+		if err := opts.validate(); err != nil {
+			return Workload{}, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		wl, err := system.DatacenterWorkload(opts.systemConfig().Machine, rng, opts.HighLoad)
+		if err != nil {
+			return Workload{}, err
+		}
+		return Workload{inner: wl}, nil
+	}
+}
+
 // Scaling builds the Fig. 17 VM-scaling configurations (1, 2, 4, 5, 10, or
 // 12 VMs over the same 20 applications).
 func Scaling(nVMs int, seed int64) func(Options) (Workload, error) {
@@ -441,6 +490,10 @@ type Result struct {
 	Vulnerability float64
 	// Energy is the dynamic data-movement energy (Fig. 15).
 	Energy EnergyNJ
+	// ReconfigMoved is the mean fraction of each app's cached bytes re-homed
+	// per reconfiguration (post-warmup reconfigurations only) — the
+	// background-walk cost a design imposes when it moves data.
+	ReconfigMoved float64
 	// Timeline has one point per epoch (Fig. 4).
 	Timeline []TimePoint
 }
@@ -464,7 +517,7 @@ func Run(opts Options, build func(Options) (Workload, error), d Design) (*Result
 }
 
 func runInner(opts Options, wl Workload, d Design) (*Result, error) {
-	rr := system.Run(opts.systemConfig(), wl.inner, d.placer(), opts.Epochs, opts.Warmup)
+	rr := system.Run(opts.systemConfig(), wl.inner, opts.placerFor(d), opts.Epochs, opts.Warmup)
 	return convert(d, rr), nil
 }
 
@@ -562,6 +615,7 @@ func convert(d Design, rr *system.RunResult) *Result {
 		BatchWeightedSpeedup: rr.BatchWeightedSpeedup,
 		WorstNormTail:        rr.WorstNormTail,
 		Vulnerability:        rr.Vulnerability,
+		ReconfigMoved:        rr.ReconfigMoved,
 		Energy: EnergyNJ{
 			L1: rr.Energy.L1, L2: rr.Energy.L2, LLC: rr.Energy.LLC,
 			NoC: rr.Energy.NoC, Mem: rr.Energy.Mem,
