@@ -351,6 +351,30 @@ func BenchmarkObsOverhead(b *testing.B) {
 			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
 		}
 	})
+	// The provenance sink (fifth sink, schema v3): disabled is the
+	// production default — every instrumentation point in the placers is
+	// behind one nil-receiver Enabled() check, so this case must match
+	// "disabled" in both time and allocations (TestAllocGuardProvenance
+	// pins the allocation half). Enabled records one placement_decision
+	// per placed VM/app per reconfiguration, with candidate lists and
+	// elimination reasons, into io.Discard; this bounds what -provenance
+	// costs on top of a bare run.
+	b.Run("provenance-disabled", func(b *testing.B) {
+		cfg, wl := setup(b)
+		cfg.Prov = nil
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
+		}
+	})
+	b.Run("provenance-enabled", func(b *testing.B) {
+		cfg, wl := setup(b)
+		cfg.Prov = obs.NewEventLog(io.Discard)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			system.Run(cfg, wl, core.JumanjiPlacer{}, 30, 10)
+		}
+	})
 }
 
 // BenchmarkFiguresParallel is the experiment engine's scaling benchmark: the

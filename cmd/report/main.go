@@ -1,10 +1,12 @@
 // Command report joins a run's recorded observability artifacts — the
 // JSONL event log (-events), the flight-recorder time-series dump (-tsdb),
-// the cell journal (-journal), and the Chrome trace file (-tracefile) —
-// into one self-contained run report: per-design SLO timelines, the
-// reconfiguration churn table, the top-k SLO-violation attributions,
-// anomaly alerts replayed over the recorded series, a span summary, and
-// the journal's cell inventory.
+// the cell journal (-journal), the Chrome trace file (-tracefile), and the
+// placement-provenance log (-provenance) — into one self-contained run
+// report: per-design SLO timelines, the reconfiguration churn table, the
+// top-k SLO-violation attributions, anomaly alerts replayed over the
+// recorded series, a span summary, the journal's cell inventory, and the
+// placement-provenance section (per-VM rationale, most-contested banks,
+// "why did VM X move" diffs, fired fallback valves).
 //
 // The report is deterministic: every timestamp comes from the recorded
 // data (simulated epoch time), never from generation time, so the same
@@ -34,14 +36,15 @@ func run() int {
 		tsdbPath    = flag.String("tsdb", "", "flight-recorder dump written by -tsdb")
 		journalPath = flag.String("journal", "", "cell journal written by -journal")
 		tracePath   = flag.String("tracefile", "", "Chrome trace file written by -tracefile")
+		provPath    = flag.String("provenance", "", "placement-provenance JSONL log written by -provenance")
 		out         = flag.String("o", "-", "output file ('-' for stdout)")
 		format      = flag.String("format", "html", "output format: html or md")
 		topK        = flag.Int("topk", 10, "SLO-violation attributions to list")
 		title       = flag.String("title", "Jumanji run report", "report title")
 	)
 	flag.Parse()
-	if *eventsPath == "" && *tsdbPath == "" && *journalPath == "" && *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "report: no inputs; pass at least one of -events, -tsdb, -journal, -tracefile")
+	if *eventsPath == "" && *tsdbPath == "" && *journalPath == "" && *tracePath == "" && *provPath == "" {
+		fmt.Fprintln(os.Stderr, "report: no inputs; pass at least one of -events, -tsdb, -journal, -tracefile, -provenance")
 		return 2
 	}
 	if *format != "html" && *format != "md" {
@@ -49,7 +52,7 @@ func run() int {
 		return 2
 	}
 
-	in, err := loadInputs(*eventsPath, *tsdbPath, *journalPath, *tracePath)
+	in, err := loadInputs(*eventsPath, *tsdbPath, *journalPath, *tracePath, *provPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		return 1

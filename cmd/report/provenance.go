@@ -1,0 +1,326 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"jumanji/internal/obs"
+)
+
+// provAgg accumulates the provenance log's aggregates while the file
+// streams through obs.DecodeEvents, so a multi-GB -provenance log never
+// has to fit in memory: state is bounded by designs × VMs × epochs, not
+// by record count.
+type provAgg struct {
+	Records, Valves int
+
+	vms    map[provVMKey]*vmProv
+	order  []provVMKey
+	banks  map[int]*bankContest
+	valveN map[provValveKey]int
+	// valvesAt indexes fired valves by (design, vm, epoch) so move diffs
+	// can say which fallback applied to the epoch a VM moved in. Run-wide
+	// valves land under VM -1.
+	valvesAt map[provAtKey][]string
+}
+
+type provVMKey struct {
+	Design string
+	VM     int
+}
+
+type provValveKey struct {
+	Design, Valve string
+}
+
+type provAtKey struct {
+	Design string
+	VM     int
+	Epoch  int
+}
+
+type vmProv struct {
+	epochs  []int // recorded epochs, in log order
+	byEpoch map[int]*vmEpochProv
+}
+
+type vmEpochProv struct {
+	decisions  int
+	candidates int
+	truncated  int
+	banks      map[int]struct{} // banks granted this epoch (all stages)
+	stages     map[string]int
+	elim       map[string]int
+}
+
+type bankContest struct {
+	Bank      int
+	Granted   int
+	Contested int
+	byReason  map[string]int
+}
+
+func (p *provAgg) add(ev obs.Event) error {
+	switch ev.Type {
+	case obs.TypePlacementDecision:
+		var d obs.PlacementDecision
+		if err := json.Unmarshal(ev.Data, &d); err != nil {
+			return fmt.Errorf("placement_decision seq %d: %w", ev.Seq, err)
+		}
+		p.Records++
+		k := provVMKey{Design: d.Design, VM: d.VM}
+		v := p.vms[k]
+		if v == nil {
+			if p.vms == nil {
+				p.vms = make(map[provVMKey]*vmProv)
+			}
+			v = &vmProv{byEpoch: make(map[int]*vmEpochProv)}
+			p.vms[k] = v
+			p.order = append(p.order, k)
+		}
+		ep := v.byEpoch[d.Epoch]
+		if ep == nil {
+			ep = &vmEpochProv{
+				banks:  make(map[int]struct{}),
+				stages: make(map[string]int),
+				elim:   make(map[string]int),
+			}
+			v.byEpoch[d.Epoch] = ep
+			v.epochs = append(v.epochs, d.Epoch)
+		}
+		ep.decisions++
+		ep.stages[d.Stage]++
+		ep.truncated += d.Truncated
+		for _, c := range d.Candidates {
+			ep.candidates++
+			if c.Eliminated != "" {
+				ep.elim[c.Eliminated]++
+			}
+			// The region-assignment stage's "banks" are region IDs; mixing
+			// them into the per-bank contest table would alias real banks.
+			if d.Stage == obs.StageRegionAssign {
+				continue
+			}
+			b := p.banks[c.Bank]
+			if b == nil {
+				if p.banks == nil {
+					p.banks = make(map[int]*bankContest)
+				}
+				b = &bankContest{Bank: c.Bank, byReason: make(map[string]int)}
+				p.banks[c.Bank] = b
+			}
+			if c.Eliminated != "" {
+				b.Contested++
+				b.byReason[c.Eliminated]++
+			} else if c.TakenBytes > 0 {
+				b.Granted++
+				ep.banks[c.Bank] = struct{}{}
+			}
+		}
+	case obs.TypePlacementValve:
+		var v obs.PlacementValve
+		if err := json.Unmarshal(ev.Data, &v); err != nil {
+			return fmt.Errorf("placement_valve seq %d: %w", ev.Seq, err)
+		}
+		p.Valves++
+		if p.valveN == nil {
+			p.valveN = make(map[provValveKey]int)
+			p.valvesAt = make(map[provAtKey][]string)
+		}
+		p.valveN[provValveKey{Design: v.Design, Valve: v.Valve}]++
+		at := provAtKey{Design: v.Design, VM: v.VM, Epoch: v.Epoch}
+		p.valvesAt[at] = append(p.valvesAt[at], v.Valve)
+	}
+	return nil
+}
+
+// Report rows derived from the aggregate (see buildProvenance).
+type provVMRow struct {
+	Design     string
+	VM         int
+	Epoch      int // newest recorded epoch
+	Epochs     int // epochs with recorded decisions
+	Decisions  int
+	Banks      []int
+	Candidates int
+	Eliminated map[string]int
+	Truncated  int
+	Stages     map[string]int
+}
+
+type provBankRow struct {
+	Bank      int
+	Granted   int
+	Contested int
+	ByReason  map[string]int
+}
+
+type provMoveRow struct {
+	Design       string
+	VM           int
+	Epoch        int
+	Gained, Lost []int
+	Why          string
+}
+
+type provValveRow struct {
+	Design, Valve string
+	Count         int
+}
+
+// buildProvenance derives the report's provenance sections from the
+// streamed aggregate. Pure and order-deterministic: rows follow the log's
+// first-appearance order or explicit sort keys, never map iteration.
+func buildProvenance(rep *report, p *provAgg, topK int) {
+	if p == nil || (p.Records == 0 && p.Valves == 0) {
+		return
+	}
+
+	for _, k := range p.order {
+		v := p.vms[k]
+		newest := v.epochs[len(v.epochs)-1]
+		ep := v.byEpoch[newest]
+		rep.ProvVMs = append(rep.ProvVMs, provVMRow{
+			Design: k.Design, VM: k.VM,
+			Epoch: newest, Epochs: len(v.epochs),
+			Decisions: ep.decisions, Banks: sortedKeys(ep.banks),
+			Candidates: ep.candidates, Eliminated: ep.elim,
+			Truncated: ep.truncated, Stages: ep.stages,
+		})
+	}
+
+	banks := make([]provBankRow, 0, len(p.banks))
+	for _, b := range p.banks {
+		banks = append(banks, provBankRow{Bank: b.Bank, Granted: b.Granted, Contested: b.Contested, ByReason: b.byReason})
+	}
+	// Most-contested first; bank index breaks ties so the bytes are stable.
+	sort.Slice(banks, func(i, j int) bool {
+		if banks[i].Contested != banks[j].Contested {
+			return banks[i].Contested > banks[j].Contested
+		}
+		return banks[i].Bank < banks[j].Bank
+	})
+	if topK >= 0 && len(banks) > topK {
+		banks = banks[:topK]
+	}
+	rep.ProvBanks = banks
+
+	var moves []provMoveRow
+	for _, k := range p.order {
+		v := p.vms[k]
+		for i := 1; i < len(v.epochs); i++ {
+			prev, cur := v.byEpoch[v.epochs[i-1]], v.byEpoch[v.epochs[i]]
+			gained, lost := diffBanks(prev.banks, cur.banks)
+			if len(gained) == 0 && len(lost) == 0 {
+				continue
+			}
+			moves = append(moves, provMoveRow{
+				Design: k.Design, VM: k.VM, Epoch: v.epochs[i],
+				Gained: gained, Lost: lost,
+				Why: moveWhy(p, k, v.epochs[i], cur),
+			})
+		}
+	}
+	// Biggest moves first, bounded like the other top-k tables.
+	sort.SliceStable(moves, func(i, j int) bool {
+		si, sj := len(moves[i].Gained)+len(moves[i].Lost), len(moves[j].Gained)+len(moves[j].Lost)
+		if si != sj {
+			return si > sj
+		}
+		a, b := moves[i], moves[j]
+		if a.Design != b.Design {
+			return a.Design < b.Design
+		}
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		return a.Epoch < b.Epoch
+	})
+	if topK >= 0 && len(moves) > topK {
+		moves = moves[:topK]
+	}
+	rep.ProvMoves = moves
+
+	valves := make([]provValveRow, 0, len(p.valveN))
+	for k, n := range p.valveN {
+		valves = append(valves, provValveRow{Design: k.Design, Valve: k.Valve, Count: n})
+	}
+	sort.Slice(valves, func(i, j int) bool {
+		if valves[i].Design != valves[j].Design {
+			return valves[i].Design < valves[j].Design
+		}
+		return valves[i].Valve < valves[j].Valve
+	})
+	rep.ProvValves = valves
+}
+
+// moveWhy summarizes why a VM's banks changed at this epoch: the epoch's
+// elimination pressure plus any valves that fired for the VM (or run-wide)
+// under the same design.
+func moveWhy(p *provAgg, k provVMKey, epoch int, ep *vmEpochProv) string {
+	why := causeSummary(ep.elim)
+	var fired []string
+	fired = append(fired, p.valvesAt[provAtKey{Design: k.Design, VM: k.VM, Epoch: epoch}]...)
+	fired = append(fired, p.valvesAt[provAtKey{Design: k.Design, VM: -1, Epoch: epoch}]...)
+	if len(fired) > 0 {
+		sort.Strings(fired)
+		fv := "valves: " + fired[0]
+		for _, f := range fired[1:] {
+			fv += ", " + f
+		}
+		if why != "" {
+			why += "; " + fv
+		} else {
+			why = fv
+		}
+	}
+	if why == "" {
+		why = "allocation resize only"
+	}
+	return why
+}
+
+func sortedKeys(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func diffBanks(prev, cur map[int]struct{}) (gained, lost []int) {
+	for b := range cur {
+		if _, ok := prev[b]; !ok {
+			gained = append(gained, b)
+		}
+	}
+	for b := range prev {
+		if _, ok := cur[b]; !ok {
+			lost = append(lost, b)
+		}
+	}
+	sort.Ints(gained)
+	sort.Ints(lost)
+	return gained, lost
+}
+
+// intList renders a short sorted bank list, eliding long ones.
+func intList(vals []int) string {
+	if len(vals) == 0 {
+		return "-"
+	}
+	const maxShown = 8
+	s := ""
+	for i, v := range vals {
+		if i == maxShown {
+			return fmt.Sprintf("%s, … (%d total)", s, len(vals))
+		}
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s
+}

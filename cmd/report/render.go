@@ -165,6 +165,49 @@ func renderMarkdown(w io.Writer, rep *report) error {
 		p("\n")
 	}
 
+	if len(rep.ProvVMs) > 0 {
+		p("## Placement provenance\n\n")
+		p("Why each VM landed where it did, from the `-provenance` log.\n\n")
+		p("### Per-VM placement rationale (newest recorded reconfiguration)\n\n")
+		p("| design | vm | epoch | reconfigs | decisions | stages | banks | candidates | eliminated | truncated |\n")
+		p("|---|---|---|---|---|---|---|---|---|---|\n")
+		for _, r := range rep.ProvVMs {
+			p("| %s | %d | %d | %d | %d | %s | %s | %d | %s | %d |\n",
+				r.Design, r.VM, r.Epoch, r.Epochs, r.Decisions, causeSummary(r.Stages),
+				intList(r.Banks), r.Candidates, causeSummary(r.Eliminated), r.Truncated)
+		}
+		p("\n")
+	}
+	if len(rep.ProvBanks) > 0 {
+		p("### Most-contested banks\n\n")
+		p("Banks that lost the most placement contests (an eliminated candidate entry each).\n\n")
+		p("| bank | granted | contested | reasons |\n")
+		p("|---|---|---|---|\n")
+		for _, r := range rep.ProvBanks {
+			p("| %d | %d | %d | %s |\n", r.Bank, r.Granted, r.Contested, causeSummary(r.ByReason))
+		}
+		p("\n")
+	}
+	if len(rep.ProvMoves) > 0 {
+		p("### Placement moves (why did VM X move?)\n\n")
+		p("| design | vm | epoch | gained banks | lost banks | why |\n")
+		p("|---|---|---|---|---|---|\n")
+		for _, r := range rep.ProvMoves {
+			p("| %s | %d | %d | %s | %s | %s |\n",
+				r.Design, r.VM, r.Epoch, intList(r.Gained), intList(r.Lost), r.Why)
+		}
+		p("\n")
+	}
+	if len(rep.ProvValves) > 0 {
+		p("### Fallback valves fired\n\n")
+		p("| design | valve | count |\n")
+		p("|---|---|---|\n")
+		for _, r := range rep.ProvValves {
+			p("| %s | %s | %d |\n", r.Design, r.Valve, r.Count)
+		}
+		p("\n")
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -311,6 +354,44 @@ code { background: #f4f4f4; padding: 0 0.25em; }
 		p("<table>\n<tr><th>sweep</th><th>cells</th><th>payload bytes</th></tr>\n")
 		for _, j := range rep.Journal {
 			p("<tr><td>%s</td><td class=n>%d</td><td class=n>%d</td></tr>\n", esc(j.Label), j.Cells, j.Bytes)
+		}
+		p("</table>\n")
+	}
+
+	if len(rep.ProvVMs) > 0 {
+		p("<h2>Placement provenance</h2>\n<p>Why each VM landed where it did, from the <code>-provenance</code> log.</p>\n")
+		p("<h3>Per-VM placement rationale (newest recorded reconfiguration)</h3>\n")
+		p("<table>\n<tr><th>design</th><th>vm</th><th>epoch</th><th>reconfigs</th><th>decisions</th><th>stages</th><th>banks</th><th>candidates</th><th>eliminated</th><th>truncated</th></tr>\n")
+		for _, r := range rep.ProvVMs {
+			p("<tr><td>%s</td><td class=n>%d</td><td class=n>%d</td><td class=n>%d</td><td class=n>%d</td><td>%s</td><td>%s</td><td class=n>%d</td><td>%s</td><td class=n>%d</td></tr>\n",
+				esc(r.Design), r.VM, r.Epoch, r.Epochs, r.Decisions, esc(causeSummary(r.Stages)),
+				esc(intList(r.Banks)), r.Candidates, esc(causeSummary(r.Eliminated)), r.Truncated)
+		}
+		p("</table>\n")
+	}
+	if len(rep.ProvBanks) > 0 {
+		p("<h3>Most-contested banks</h3>\n<p>Banks that lost the most placement contests (an eliminated candidate entry each).</p>\n")
+		p("<table>\n<tr><th>bank</th><th>granted</th><th>contested</th><th>reasons</th></tr>\n")
+		for _, r := range rep.ProvBanks {
+			p("<tr><td class=n>%d</td><td class=n>%d</td><td class=n>%d</td><td>%s</td></tr>\n",
+				r.Bank, r.Granted, r.Contested, esc(causeSummary(r.ByReason)))
+		}
+		p("</table>\n")
+	}
+	if len(rep.ProvMoves) > 0 {
+		p("<h3>Placement moves (why did VM X move?)</h3>\n")
+		p("<table>\n<tr><th>design</th><th>vm</th><th>epoch</th><th>gained banks</th><th>lost banks</th><th>why</th></tr>\n")
+		for _, r := range rep.ProvMoves {
+			p("<tr><td>%s</td><td class=n>%d</td><td class=n>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				esc(r.Design), r.VM, r.Epoch, esc(intList(r.Gained)), esc(intList(r.Lost)), esc(r.Why))
+		}
+		p("</table>\n")
+	}
+	if len(rep.ProvValves) > 0 {
+		p("<h3>Fallback valves fired</h3>\n")
+		p("<table>\n<tr><th>design</th><th>valve</th><th>count</th></tr>\n")
+		for _, r := range rep.ProvValves {
+			p("<tr><td>%s</td><td>%s</td><td class=n>%d</td></tr>\n", esc(r.Design), esc(r.Valve), r.Count)
 		}
 		p("</table>\n")
 	}

@@ -20,8 +20,12 @@ type inputs struct {
 	TS      []tsdb.SeriesData
 	Journal *journal.Log
 	Spans   []traceSpan
+	// Prov carries the provenance log pre-aggregated: the file streams
+	// through obs.DecodeEvents at load time (provenance logs can dwarf the
+	// decision log), so only the bounded aggregate reaches buildReport.
+	Prov *provAgg
 
-	EventsName, TSName, JournalName, TraceName string
+	EventsName, TSName, JournalName, TraceName, ProvName string
 }
 
 // traceSpan is one complete ("ph":"X") event from a Chrome trace file.
@@ -32,8 +36,21 @@ type traceSpan struct {
 }
 
 // loadInputs reads whichever artifact paths are non-empty.
-func loadInputs(eventsPath, tsdbPath, journalPath, tracePath string) (inputs, error) {
+func loadInputs(eventsPath, tsdbPath, journalPath, tracePath, provPath string) (inputs, error) {
 	var in inputs
+	if provPath != "" {
+		f, err := os.Open(provPath)
+		if err != nil {
+			return in, err
+		}
+		agg := &provAgg{}
+		err = obs.DecodeEvents(f, agg.add)
+		f.Close()
+		if err != nil {
+			return in, fmt.Errorf("%s: %w", provPath, err)
+		}
+		in.Prov, in.ProvName = agg, filepath.Base(provPath)
+	}
 	if eventsPath != "" {
 		data, err := os.ReadFile(eventsPath)
 		if err != nil {
@@ -111,6 +128,12 @@ type report struct {
 	Series        []seriesRow
 	Spans         []spanRow
 	Journal       []journalRow
+
+	// Placement provenance (from -provenance; see provenance.go).
+	ProvVMs    []provVMRow
+	ProvBanks  []provBankRow
+	ProvMoves  []provMoveRow
+	ProvValves []provValveRow
 }
 
 type inputLine struct {
@@ -194,6 +217,10 @@ func buildReport(title string, topK int, in inputs) (*report, error) {
 	if in.TraceName != "" {
 		rep.Inputs = append(rep.Inputs, inputLine{"trace", in.TraceName, fmt.Sprintf("%d spans", len(in.Spans))})
 	}
+	if in.ProvName != "" {
+		rep.Inputs = append(rep.Inputs, inputLine{"provenance", in.ProvName,
+			fmt.Sprintf("%d decisions, %d valves", in.Prov.Records, in.Prov.Valves)})
+	}
 
 	if err := buildFromEvents(rep, in.Events, topK); err != nil {
 		return nil, err
@@ -201,6 +228,7 @@ func buildReport(title string, topK int, in inputs) (*report, error) {
 	buildSeries(rep, in.TS)
 	buildSpans(rep, in.Spans)
 	buildJournal(rep, in.Journal)
+	buildProvenance(rep, in.Prov, topK)
 	return rep, nil
 }
 

@@ -15,11 +15,12 @@ import (
 
 // genRun executes a small figure with every recorded sink enabled and
 // writes the artifacts into dir, returning their paths.
-func genRun(t *testing.T, dir string) (events, ts, trace string) {
+func genRun(t *testing.T, dir string) (events, ts, trace, prov string) {
 	t.Helper()
 	events = filepath.Join(dir, "run.jsonl")
 	ts = filepath.Join(dir, "run.ts.json")
 	trace = filepath.Join(dir, "run.trace.json")
+	prov = filepath.Join(dir, "run.prov.jsonl")
 
 	evF, err := os.Create(events)
 	if err != nil {
@@ -29,19 +30,30 @@ func genRun(t *testing.T, dir string) (events, ts, trace string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	pvF, err := os.Create(prov)
+	if err != nil {
+		t.Fatal(err)
+	}
 	o := harness.Options{Mixes: 2, Epochs: 10, Warmup: 3, Seed: 1, Parallel: 2}
 	o.Metrics = obs.NewRegistry()
 	o.Events = obs.NewEventLog(evF)
 	o.Trace = obs.NewTrace(trF)
 	o.TS = tsdb.New(tsdb.DefaultCapacity)
+	o.Prov = obs.NewEventLog(pvF)
 	harness.Fig5(o)
 	if err := o.Events.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Prov.Err(); err != nil {
 		t.Fatal(err)
 	}
 	if err := o.Trace.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := evF.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pvF.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := trF.Close(); err != nil {
@@ -57,12 +69,12 @@ func genRun(t *testing.T, dir string) (events, ts, trace string) {
 	if err := tsF.Close(); err != nil {
 		t.Fatal(err)
 	}
-	return events, ts, trace
+	return events, ts, trace, prov
 }
 
-func render(t *testing.T, events, ts, journalPath, trace string) (html, md string) {
+func render(t *testing.T, events, ts, journalPath, trace, prov string) (html, md string) {
 	t.Helper()
-	in, err := loadInputs(events, ts, journalPath, trace)
+	in, err := loadInputs(events, ts, journalPath, trace, prov)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,10 +99,10 @@ func render(t *testing.T, events, ts, journalPath, trace string) (html, md strin
 // timings are wall-clock by design — so the report's span section is
 // exercised separately below.
 func TestReportByteIdentical(t *testing.T) {
-	e1, t1, _ := genRun(t, t.TempDir())
-	e2, t2, _ := genRun(t, t.TempDir())
-	h1, m1 := render(t, e1, t1, "", "")
-	h2, m2 := render(t, e2, t2, "", "")
+	e1, t1, _, p1 := genRun(t, t.TempDir())
+	e2, t2, _, p2 := genRun(t, t.TempDir())
+	h1, m1 := render(t, e1, t1, "", "", p1)
+	h2, m2 := render(t, e2, t2, "", "", p2)
 	if h1 != h2 {
 		t.Error("HTML reports differ between identical runs")
 	}
@@ -105,6 +117,12 @@ func TestReportByteIdentical(t *testing.T) {
 	}
 	if !strings.Contains(h1, "Recorded time series") {
 		t.Error("HTML report is missing the time-series section")
+	}
+	if !strings.Contains(h1, "Placement provenance") || !strings.Contains(m1, "## Placement provenance") {
+		t.Error("reports are missing the placement-provenance section")
+	}
+	if !strings.Contains(m1, "Most-contested banks") || !strings.Contains(m1, "Per-VM placement rationale") {
+		t.Error("provenance section is missing its rationale/contested-banks tables")
 	}
 }
 
@@ -178,7 +196,7 @@ func TestReportSectionsSynthetic(t *testing.T) {
 	}
 	trF.Close()
 
-	html, md := render(t, events, ts, jpath, trace)
+	html, md := render(t, events, ts, jpath, trace, "")
 	for _, want := range []string{
 		"Jumanji",             // run row
 		"queue",               // dominant component
@@ -202,6 +220,103 @@ func TestReportSectionsSynthetic(t *testing.T) {
 	}
 }
 
+// TestReportProvenanceSynthetic drives the provenance section from a
+// hand-built log: a VM whose banks change between two reconfigurations,
+// eliminated candidates naming a contested bank, and a run-wide valve —
+// exact rows, not just non-emptiness.
+func TestReportProvenanceSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	prov := filepath.Join(dir, "prov.jsonl")
+	pvF, err := os.Create(prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := obs.NewEventLog(pvF)
+	r := obs.NewProvRecorder(log, "Jumanji", []string{"xapian"})
+
+	r.StartEpoch(0, 0)
+	r.Decision(obs.StageVMBanks, 0, -1, false, 2<<20)
+	r.Eliminated(obs.StageVMBanks, 0, -1, 5, 1, 0, obs.ElimSecurityDomain)
+	r.Placed(obs.StageVMBanks, 0, -1, 2, 1, 1<<20)
+	r.Placed(obs.StageVMBanks, 0, -1, 3, 2, 1<<20)
+	r.Flush()
+
+	r.StartEpoch(1, 1e5)
+	r.Valve(obs.ValveShrinkLatSizes, -1, 1, 0.9, "lat-crit data did not fit")
+	r.Decision(obs.StageVMBanks, 0, -1, false, 2<<20)
+	r.Eliminated(obs.StageVMBanks, 0, -1, 5, 1, 0, obs.ElimSecurityDomain)
+	r.Placed(obs.StageVMBanks, 0, -1, 2, 1, 1<<20)
+	r.Placed(obs.StageVMBanks, 0, -1, 7, 3, 1<<20)
+	r.Flush()
+
+	if err := log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pvF.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := loadInputs("", "", "", "", prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Prov.Records != 2 || in.Prov.Valves != 1 {
+		t.Fatalf("aggregate = %d decisions, %d valves; want 2, 1", in.Prov.Records, in.Prov.Valves)
+	}
+	rep, err := buildReport("prov report", 10, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ProvVMs) != 1 {
+		t.Fatalf("ProvVMs = %+v; want one row", rep.ProvVMs)
+	}
+	vm := rep.ProvVMs[0]
+	if vm.Design != "Jumanji" || vm.VM != 0 || vm.Epoch != 1 || vm.Epochs != 2 {
+		t.Fatalf("vm row = %+v; want Jumanji vm 0 at epoch 1 over 2 reconfigs", vm)
+	}
+	if len(vm.Banks) != 2 || vm.Banks[0] != 2 || vm.Banks[1] != 7 {
+		t.Fatalf("vm banks = %v; want [2 7]", vm.Banks)
+	}
+	if vm.Eliminated[obs.ElimSecurityDomain] != 1 {
+		t.Fatalf("vm eliminations = %v; want one security-domain conflict", vm.Eliminated)
+	}
+	// Bank 5 lost both contests; ranked first.
+	if len(rep.ProvBanks) == 0 || rep.ProvBanks[0].Bank != 5 || rep.ProvBanks[0].Contested != 2 {
+		t.Fatalf("ProvBanks = %+v; want bank 5 contested twice first", rep.ProvBanks)
+	}
+	// Epoch 1 swapped bank 3 for bank 7; the why line carries the epoch's
+	// elimination pressure and the run-wide valve.
+	if len(rep.ProvMoves) != 1 {
+		t.Fatalf("ProvMoves = %+v; want one move", rep.ProvMoves)
+	}
+	mv := rep.ProvMoves[0]
+	if mv.Epoch != 1 || len(mv.Gained) != 1 || mv.Gained[0] != 7 || len(mv.Lost) != 1 || mv.Lost[0] != 3 {
+		t.Fatalf("move = %+v; want gained [7] lost [3] at epoch 1", mv)
+	}
+	if !strings.Contains(mv.Why, obs.ElimSecurityDomain) || !strings.Contains(mv.Why, obs.ValveShrinkLatSizes) {
+		t.Fatalf("move why = %q; want the elimination reason and the fired valve", mv.Why)
+	}
+	if len(rep.ProvValves) != 1 || rep.ProvValves[0].Valve != obs.ValveShrinkLatSizes || rep.ProvValves[0].Count != 1 {
+		t.Fatalf("ProvValves = %+v", rep.ProvValves)
+	}
+
+	var h, m bytes.Buffer
+	if err := renderHTML(&h, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := renderMarkdown(&m, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Placement provenance", "Most-contested banks", "why did VM X move", obs.ValveShrinkLatSizes} {
+		if !strings.Contains(m.String(), want) {
+			t.Errorf("markdown provenance section is missing %q", want)
+		}
+		if !strings.Contains(h.String(), want) {
+			t.Errorf("HTML provenance section is missing %q", want)
+		}
+	}
+}
+
 // TestReportRejectsMalformedInputs: corrupt artifacts fail loudly instead
 // of producing a silently empty report.
 func TestReportRejectsMalformedInputs(t *testing.T) {
@@ -210,14 +325,17 @@ func TestReportRejectsMalformedInputs(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{\"v\":99,\"seq\":1,\"type\":\"epoch\",\"data\":{}}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadInputs(bad, "", "", ""); err == nil {
+	if _, err := loadInputs(bad, "", "", "", ""); err == nil {
 		t.Error("wrong-schema event log was accepted")
+	}
+	if _, err := loadInputs("", "", "", "", bad); err == nil {
+		t.Error("wrong-schema provenance log was accepted")
 	}
 	badTS := filepath.Join(dir, "bad.ts.json")
 	if err := os.WriteFile(badTS, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadInputs("", badTS, "", ""); err == nil {
+	if _, err := loadInputs("", badTS, "", "", ""); err == nil {
 		t.Error("malformed tsdb dump was accepted")
 	}
 }

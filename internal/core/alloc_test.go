@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"jumanji/internal/obs"
 	"jumanji/internal/topo"
 )
 
@@ -105,6 +106,54 @@ func TestAllocGuardPlace(t *testing.T) {
 	const maxAllocs = 12
 	if allocs > maxAllocs {
 		t.Errorf("JumanjiPlacer.PlaceInto allocated %v times per call, want <= %d", allocs, maxAllocs)
+	}
+}
+
+// TestAllocGuardProvenance pins the provenance sink's zero-overhead
+// contract: with the sink disabled (in.Prov == nil, the default), the
+// instrumented placers must stay within the same allocation budget as
+// before instrumentation — every record-building branch is behind
+// in.Prov.Enabled(), so the disabled path never builds a candidate list,
+// never formats a string, and never touches the heap for provenance.
+func TestAllocGuardProvenance(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; guarded by the non-race CI step")
+	}
+	in, pl, _ := allocGuardPlacement()
+	if in.Prov != nil {
+		t.Fatal("alloc-guard workload unexpectedly has a provenance recorder")
+	}
+	for _, placer := range []ScratchPlacer{JumanjiPlacer{}, JigsawPlacer{}} {
+		placer := placer
+		placer.PlaceInto(in, pl) // warm the scratch pool
+		allocs := testing.AllocsPerRun(50, func() {
+			placer.PlaceInto(in, pl)
+		})
+		const maxAllocs = 12 // same budget as TestAllocGuardPlace
+		if allocs > maxAllocs {
+			t.Errorf("%s.PlaceInto with nil provenance recorder allocated %v times per call, want <= %d",
+				placer.Name(), allocs, maxAllocs)
+		}
+	}
+
+	// The nil recorder's methods themselves must be free: the placers call
+	// Enabled() unconditionally, and a disabled-but-called record method
+	// (a bug, but a cheap one to guard) must not allocate either.
+	var r *obs.ProvRecorder
+	allocs := testing.AllocsPerRun(200, func() {
+		if r.Enabled() {
+			allocSinkI++
+		}
+		r.Decision(obs.StageVMBanks, 1, -1, false, 1)
+		r.Eliminated(obs.StageVMBanks, 1, -1, 2, 3, 0, obs.ElimCapacity)
+		r.Placed(obs.StageVMBanks, 1, -1, 2, 3, 1)
+		r.Valve(obs.ValveShrinkLatSizes, -1, 0, 0.9, "")
+		r.StartEpoch(0, 0)
+		r.Attempt()
+		r.Flush()
+	})
+	if allocs != 0 {
+		t.Errorf("nil ProvRecorder methods allocated %v times per call, want 0", allocs)
 	}
 }
 

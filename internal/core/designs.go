@@ -5,6 +5,7 @@ import (
 
 	"jumanji/internal/lookahead"
 	"jumanji/internal/mrc"
+	"jumanji/internal/obs"
 )
 
 // StaticPlacer is the naïve baseline all results are normalized to
@@ -44,6 +45,9 @@ func (s StaticPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 			panic(fmt.Sprintf("core: Static design has no ways left for batch (%d LC apps × %d ways)", len(lat), ways))
 		}
 		waysPerApp = avail / float64(len(lat))
+		if in.Prov.Enabled() {
+			in.Prov.Valve(obs.ValveStaticWayRescale, -1, 0, waysPerApp/float64(ways), "")
+		}
 	}
 	usedWays := 0.0
 	for _, app := range lat {
@@ -130,8 +134,17 @@ func (VMPartPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 			reqs[i].Min *= scale
 			reqs[i].Step *= scale
 		}
+		if in.Prov.Enabled() {
+			in.Prov.Valve(obs.ValveVMQuantumRescale, -1, 0, scale, "")
+		}
 	}
 	s.sizes = lookahead.AllocateInto(s.sizes[:0], poolBytes, reqs)
+	if in.Prov.Enabled() {
+		for i, vm := range vmsWithBatch {
+			in.Prov.Decision(obs.StageVMWays, int(vm), -1, false, s.sizes[i])
+			in.Prov.Score(obs.StageVMWays, int(vm), -1, reqs[i].Curve.Eval(s.sizes[i]))
+		}
+	}
 	for i, vm := range vmsWithBatch {
 		s.lat, s.batch = in.AppendAppsOf(s.lat[:0], s.batch[:0], vm)
 		vmWaysPerBank := s.sizes[i] / wayStripeBytes(in)
@@ -165,6 +178,9 @@ func placeAdaptiveLatCrit(in *Input, pl *Placement) float64 {
 		scale := budget / total
 		for i := range sizes {
 			sizes[i] *= scale
+		}
+		if in.Prov.Enabled() {
+			in.Prov.Valve(obs.ValveAdaptiveScaleDown, -1, 0, scale, "")
 		}
 		total = budget
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "jumanji/internal/topo"
+import (
+	"jumanji/internal/obs"
+	"jumanji/internal/topo"
+)
 
 // FixedPlacer pins each latency-critical application to a fixed allocation
 // (Input.LatSizes, ignoring feedback), placed either striped across all
@@ -84,6 +87,9 @@ func (p FixedPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 		}
 		pl.SetUnpartitioned(app)
 		pl.SetGroupWays(app, meanPoolWays)
+		if in.Prov.Enabled() {
+			in.Prov.Simple(obs.StageBatch, int(in.Apps[app].VM), int(app), false, split[app], split[app])
+		}
 	}
 	return pl
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"jumanji/internal/obs"
 	"jumanji/internal/topo"
 )
 
@@ -48,24 +49,42 @@ func stripe(in *Input, pl *Placement, app AppID, bytes float64) {
 	for b := 0; b < banks; b++ {
 		pl.Add(app, topo.TileID(b), per)
 	}
+	if in.Prov.Enabled() {
+		spec := in.Apps[app]
+		in.Prov.Simple(obs.StageStripe, int(spec.VM), int(app), spec.LatencyCritical, bytes, bytes)
+	}
 }
 
 // greedyFill places `size` bytes for app into the nearest banks (by hop
 // distance from the app's core) that are marked in allowed (nil = all banks;
 // otherwise indexed by bank), consuming balance. It returns the bytes that
-// did not fit.
-func greedyFill(in *Input, pl *Placement, app AppID, size float64, balance []float64, allowed []bool) float64 {
+// did not fit. stage and blockReason feed the provenance recorder:
+// blockReason is the constraint behind the allowed mask (security-domain
+// isolation for per-VM masks, region boundary for sharded sub-meshes).
+func greedyFill(in *Input, pl *Placement, app AppID, size float64, balance []float64, allowed []bool, stage, blockReason string) float64 {
 	spec := in.Apps[app]
 	remaining := size
+	on := in.Prov.Enabled()
+	if on {
+		in.Prov.Decision(stage, int(spec.VM), int(app), spec.LatencyCritical, size)
+	}
 	for _, b := range in.Machine.Mesh.BanksByDistanceView(spec.Core) {
 		if remaining <= 1e-9 {
 			return 0
 		}
 		if allowed != nil && !allowed[b] {
+			if on {
+				in.Prov.Eliminated(stage, int(spec.VM), int(app),
+					int(b), in.Machine.Mesh.Hops(spec.Core, b), balance[b], blockReason)
+			}
 			continue
 		}
 		avail := balance[b]
 		if avail <= 0 {
+			if on {
+				in.Prov.Eliminated(stage, int(spec.VM), int(app),
+					int(b), in.Machine.Mesh.Hops(spec.Core, b), avail, obs.ElimCapacity)
+			}
 			continue
 		}
 		take := avail
@@ -75,6 +94,10 @@ func greedyFill(in *Input, pl *Placement, app AppID, size float64, balance []flo
 		pl.Add(app, b, take)
 		balance[b] -= take
 		remaining -= take
+		if on {
+			in.Prov.Placed(stage, int(spec.VM), int(app),
+				int(b), in.Machine.Mesh.Hops(spec.Core, b), take)
+		}
 	}
 	return remaining
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"jumanji/internal/lookahead"
+	"jumanji/internal/obs"
 )
 
 // IdealBatchPlacer is the infeasible upper bound of Fig. 16 ("Jumanji:
@@ -33,8 +34,12 @@ func (p IdealBatchPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	// historical behaviour bit for bit.
 	scaled := *in
 	for attempt := 0; attempt < 16; attempt++ {
+		in.Prov.Attempt()
 		if p.place(&scaled, pl) {
 			return pl
+		}
+		if in.Prov.Enabled() {
+			in.Prov.Valve(obs.ValveShrinkLatSizes, -1, attempt, 0.9, "latency-critical data did not fit")
 		}
 		scaled = shrinkLatSizes(scaled, 0.9)
 	}
@@ -85,9 +90,19 @@ func (IdealBatchPlacer) place(in *Input, pl *Placement) bool {
 		// Degenerate: latency-critical data consumed nearly everything.
 		// Give each VM one bank's worth anyway — the overlay is infeasible
 		// by construction, so capacity bookkeeping stays advisory.
+		if in.Prov.Enabled() {
+			in.Prov.Valve(obs.ValveOverlayBudgetBump, -1, 0,
+				float64(len(vmList))*in.Machine.BankBytes/budget, "")
+		}
 		budget = float64(len(vmList)) * in.Machine.BankBytes
 	}
 	sizes := lookahead.Allocate(budget, reqs)
+	if in.Prov.Enabled() {
+		for i, vm := range vmList {
+			in.Prov.Decision(obs.StageOverlayBanks, int(vm), -1, false, sizes[i])
+			in.Prov.Score(obs.StageOverlayBanks, int(vm), -1, reqs[i].Curve.Eval(sizes[i]))
+		}
+	}
 
 	// Assign overlay banks round-robin nearest-first. s.owner is free here
 	// (no bank-isolation step ran) and starts all -1.
@@ -113,6 +128,9 @@ func (IdealBatchPlacer) place(in *Input, pl *Placement) bool {
 			ownerOverlay[b] = vm
 			needed[vm]--
 			progressed = true
+			if in.Prov.Enabled() {
+				recordBankPick(in, obs.StageOverlayBanks, vm, b, ownerOverlay)
+			}
 		}
 		if !progressed {
 			break

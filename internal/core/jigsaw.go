@@ -3,6 +3,7 @@ package core
 import (
 	"jumanji/internal/lookahead"
 	"jumanji/internal/mrc"
+	"jumanji/internal/obs"
 )
 
 // JigsawPlacer is the state-of-the-art D-NUCA baseline [6, 8]: it minimizes
@@ -81,8 +82,13 @@ func jigsawPlace(in *Input, hull bool, pl *Placement) *Placement {
 	// Pack the hottest VCs closest to their threads. Positions equal AppIDs
 	// here (apps is the identity list), so sizes indexes directly.
 	s.order = appendByDescendingRate(s.order[:0], in, apps)
+	if in.Prov.Enabled() {
+		for i, app := range apps {
+			in.Prov.Score(obs.StageBatch, int(in.Apps[app].VM), int(app), reqs[i].Curve.Eval(s.sizes[i]))
+		}
+	}
 	for _, pos := range s.order {
-		greedyFill(in, pl, apps[pos], s.sizes[pos], balance, nil)
+		greedyFill(in, pl, apps[pos], s.sizes[pos], balance, nil, obs.StageBatch, obs.ElimSecurityDomain)
 	}
 	return pl
 }

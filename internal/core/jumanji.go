@@ -6,6 +6,7 @@ import (
 
 	"jumanji/internal/lookahead"
 	"jumanji/internal/mrc"
+	"jumanji/internal/obs"
 	"jumanji/internal/topo"
 )
 
@@ -59,9 +60,13 @@ func (p JumanjiPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 	// controllers' default bounds; it guards pathological inputs.
 	scaled := *in
 	for attempt := 0; attempt < 16; attempt++ {
+		in.Prov.Attempt()
 		err := p.place(&scaled, pl)
 		if err == nil {
 			return pl
+		}
+		if in.Prov.Enabled() {
+			in.Prov.Valve(obs.ValveShrinkLatSizes, -1, attempt, 0.9, err.Error())
 		}
 		scaled = shrinkLatSizes(scaled, 0.9)
 	}
@@ -142,6 +147,11 @@ func (p JumanjiPlacer) placeOversubscribed(in *Input, vms []VMID, pl *Placement)
 		group[vm] = g
 		groupSize[g]++
 	}
+	if in.Prov.Enabled() {
+		in.Prov.Valve(obs.ValveOversubscriptionFold, -1, 0,
+			float64(banks)/float64(len(vms)),
+			fmt.Sprintf("%d VMs folded into %d time-shared groups", len(vms), banks))
+	}
 	folded := *in
 	folded.Apps = make([]AppSpec, len(in.Apps))
 	copy(folded.Apps, in.Apps)
@@ -195,6 +205,9 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 		// need a way each, so step the minimum to the next feasible point.
 		if len(batch) > 0 && r.Min < in.Machine.WayBytes()*float64(len(batch)) {
 			r.Min += m.BankBytes
+			if in.Prov.Enabled() {
+				in.Prov.Valve(obs.ValveBankMinStepUp, int(vm), 0, 0, "")
+			}
 		}
 		reqs = append(reqs, r)
 		minTotal += r.Min
@@ -213,6 +226,12 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 	}
 	s.sizes = lookahead.AllocateInto(s.sizes[:0], batchBalance, reqs)
 	sizes := s.sizes
+	if in.Prov.Enabled() {
+		for i, vm := range vms {
+			in.Prov.Decision(obs.StageVMBanks, int(vm), -1, false, latOf[vm]+sizes[i])
+			in.Prov.Score(obs.StageVMBanks, int(vm), -1, reqs[i].Curve.Eval(sizes[i]))
+		}
+	}
 
 	// Whole-bank entitlement per VM.
 	needed := s.needed
@@ -265,6 +284,9 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 			owner[b] = vm
 			needed[vm]--
 			progressed = true
+			if in.Prov.Enabled() {
+				recordBankPick(in, obs.StageVMBanks, vm, b, owner)
+			}
 		}
 		if !progressed {
 			break
@@ -276,6 +298,9 @@ func (p JumanjiPlacer) assignBanks(in *Input, pl *Placement, latRes latCritResul
 			break
 		}
 		owner[b] = vm
+		if in.Prov.Enabled() {
+			in.Prov.Placed(obs.StageVMBanks, int(vm), -1, int(b), vmDistance(in, vm, b), m.BankBytes)
+		}
 	}
 	return owner, nil
 }
@@ -306,11 +331,25 @@ func (p JumanjiPlacer) placeBatchWithin(in *Input, pl *Placement, s *placeScratc
 			reqs[i].Min *= scale
 			reqs[i].Step *= scale
 		}
+		if in.Prov.Enabled() {
+			vm := -1
+			if len(batch) > 0 {
+				vm = int(in.Apps[batch[0]].VM)
+			}
+			in.Prov.Valve(obs.ValveWayQuantumRescale, vm, 0, scale, "")
+		}
 	}
 	s.sizes = lookahead.AllocateInto(s.sizes[:0], capacity, reqs)
 	s.order = appendByDescendingRate(s.order[:0], in, batch)
+	if in.Prov.Enabled() {
+		// The lookahead score behind each app's granted size: projected
+		// misses/cycle at the allocation, on the same hull lookahead walked.
+		for i, app := range batch {
+			in.Prov.Score(obs.StageBatch, int(in.Apps[app].VM), int(app), reqs[i].Curve.Eval(s.sizes[i]))
+		}
+	}
 	for _, pos := range s.order {
-		greedyFill(in, pl, batch[pos], s.sizes[pos], balance, allowed)
+		greedyFill(in, pl, batch[pos], s.sizes[pos], balance, allowed, obs.StageBatch, obs.ElimSecurityDomain)
 	}
 }
 

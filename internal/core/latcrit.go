@@ -1,5 +1,7 @@
 package core
 
+import "jumanji/internal/obs"
+
 // latCritResult reports what LatCritPlacer did.
 type latCritResult struct {
 	// claims records, per bank, the VM whose latency-critical data landed
@@ -32,6 +34,7 @@ type latCritResult struct {
 func latCritPlace(in *Input, pl *Placement, balance []float64, exclusivePerVM bool, s *placeScratch) latCritResult {
 	res := latCritResult{claims: s.claims}
 	wayBytes := in.Machine.WayBytes()
+	on := in.Prov.Enabled()
 	s.latApps = in.AppendLatCritApps(s.latApps[:0])
 	for _, app := range s.latApps {
 		spec := in.Apps[app]
@@ -39,17 +42,28 @@ func latCritPlace(in *Input, pl *Placement, balance []float64, exclusivePerVM bo
 		if remaining < wayBytes {
 			remaining = wayBytes
 		}
+		if on {
+			in.Prov.Decision(obs.StageLatCrit, int(spec.VM), int(app), true, remaining)
+		}
 		for _, b := range in.Machine.Mesh.BanksByDistanceView(spec.Core) {
 			if remaining <= 0 {
 				break
 			}
 			if exclusivePerVM {
 				if vm := res.claims[b]; vm >= 0 && vm != spec.VM {
+					if on {
+						in.Prov.Eliminated(obs.StageLatCrit, int(spec.VM), int(app),
+							int(b), in.Machine.Mesh.Hops(spec.Core, b), balance[b], obs.ElimSecurityDomain)
+					}
 					continue
 				}
 			}
 			avail := balance[b]
 			if avail <= 0 {
+				if on {
+					in.Prov.Eliminated(obs.StageLatCrit, int(spec.VM), int(app),
+						int(b), in.Machine.Mesh.Hops(spec.Core, b), avail, obs.ElimCapacity)
+				}
 				continue
 			}
 			take := avail
@@ -60,6 +74,10 @@ func latCritPlace(in *Input, pl *Placement, balance []float64, exclusivePerVM bo
 			balance[b] -= take
 			remaining -= take
 			res.claims[b] = spec.VM
+			if on {
+				in.Prov.Placed(obs.StageLatCrit, int(spec.VM), int(app),
+					int(b), in.Machine.Mesh.Hops(spec.Core, b), take)
+			}
 		}
 		res.unplaced += remaining
 	}

@@ -11,6 +11,7 @@ import (
 
 	"jumanji/internal/lookahead"
 	"jumanji/internal/mrc"
+	"jumanji/internal/obs"
 	"jumanji/internal/topo"
 )
 
@@ -113,7 +114,9 @@ func (p ShardedPlacer) PlaceInto(in *Input, pl *Placement) *Placement {
 				continue
 			}
 			buildRegionInput(in, regs, r, s, rs)
+			attachRegionProv(in, regs, r, rs)
 			p.inner().PlaceInto(&rs.in, rs.pl)
+			adoptRegionProv(in, rs)
 			mergeRegion(pl, regs, r, rs)
 		}
 		putRegionScratch(rs)
@@ -144,6 +147,9 @@ func (p ShardedPlacer) placeRegionsParallel(in *Input, regs *topo.Regions, s *sh
 		go func(r topo.RegionID, rs *regionScratch) {
 			defer wg.Done()
 			buildRegionInput(in, regs, r, s, rs)
+			// The sub-recorder is private to this goroutine until the serial
+			// adopt below; deriving it only reads the shared parent.
+			attachRegionProv(in, regs, r, rs)
 			p.inner().PlaceInto(&rs.in, rs.pl)
 		}(r, rs)
 	}
@@ -152,6 +158,9 @@ func (p ShardedPlacer) placeRegionsParallel(in *Input, regs *topo.Regions, s *sh
 		if rss[r] == nil {
 			continue
 		}
+		// Ascending region order keeps the provenance stream byte-identical
+		// to the serial path.
+		adoptRegionProv(in, rss[r])
 		mergeRegion(pl, regs, r, rss[r])
 		putRegionScratch(rss[r])
 		rss[r] = nil
@@ -272,6 +281,9 @@ func assignVMsToRegions(in *Input, regs *topo.Regions, s *shardScratch) {
 		// Pathologically oversized latency-critical targets: entitlements
 		// degrade to app-count shares (the inner placer's shrink retry will
 		// resolve capacity within each region).
+		if in.Prov.Enabled() {
+			in.Prov.Valve(obs.ValveRegionDegrade, -1, 0, batchBalance/minTotal, "")
+		}
 		batchBalance = minTotal
 	}
 	s.sizes = lookahead.AllocateInto(s.sizes[:0], batchBalance, s.reqs)
@@ -333,11 +345,18 @@ func assignVMsToRegions(in *Input, regs *topo.Regions, s *shardScratch) {
 				fall, fallFree, fallDist = r, s.regFree[r], d
 			}
 		}
+		fellBack := best < 0
 		if best < 0 {
 			best = fall
 		}
 		if best < 0 {
 			panic(fmt.Sprintf("core: no region can host VM %d (%d VMs, %d banks)", vm, len(vms), m.Banks()))
+		}
+		if in.Prov.Enabled() {
+			if fellBack {
+				in.Prov.Valve(obs.ValveRegionFallback, int(vm), 0, 0, "no nearby region had enough free banks")
+			}
+			recordRegionChoice(in, regs, vm, need, best, s.regVMs, s.regFree)
 		}
 		s.region[vi] = best
 		s.regVMs[best]++
@@ -378,6 +397,7 @@ func vmIndexOf(vms []VMID, vm VMID) int {
 // direction locality pulls from). With a single region the translation is the
 // identity, so the sub-input equals the input field for field.
 func buildRegionInput(in *Input, regs *topo.Regions, r topo.RegionID, s *shardScratch, rs *regionScratch) {
+	rs.in.Prov = nil // pooled; attachRegionProv sets a fresh sub-recorder when enabled
 	rs.in.Machine = Machine{Mesh: regs.Mesh(r), BankBytes: in.Machine.BankBytes, WaysPerBank: in.Machine.WaysPerBank}
 	rs.in.Apps = rs.in.Apps[:0]
 	rs.ids = rs.ids[:0]

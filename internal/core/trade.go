@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"jumanji/internal/mrc"
+	"jumanji/internal/obs"
 )
 
 // TradePlacer implements the more sophisticated algorithm the paper
@@ -129,6 +130,12 @@ func (p *TradePlacer) tradeForVM(in *Input, pl *Placement, lat AppID, batchApps 
 		return
 	}
 	p.TradesAttempted++
+	on := in.Prov.Enabled()
+	if on {
+		// One decision per attempted (lat, trade) pair: the far bank is the
+		// candidate; the strict no-penalty constraint eliminates it or not.
+		in.Prov.Decision(obs.StageTrade, int(spec.VM), int(lat), true, wayBytes)
+	}
 
 	// Latency-critical impact of moving `wayBytes` from near to far:
 	// weighted distance rises; compensate with extra capacity c such that
@@ -152,6 +159,10 @@ func (p *TradePlacer) tradeForVM(in *Input, pl *Placement, lat AppID, batchApps 
 		}
 	}
 	if math.IsInf(comp, 1) {
+		if on {
+			in.Prov.Eliminated(obs.StageTrade, int(spec.VM), int(lat),
+				int(farBank), int(dFar), 0, obs.ElimTradeNoCompensation)
+		}
 		return // no affordable compensation: constraint rejects the trade
 	}
 	// The donor must give up wayBytes+comp in the far bank and receives
@@ -165,6 +176,10 @@ func (p *TradePlacer) tradeForVM(in *Input, pl *Placement, lat AppID, batchApps 
 	dDonorFar := float64(mesh.Hops(donorSpec.Core, farBank))
 	hopGain := 2 * (dDonorFar - dDonorNear) * hopCycles * wayBytes / donorTotal
 	if hopGain <= missCost {
+		if on {
+			in.Prov.Eliminated(obs.StageTrade, int(spec.VM), int(lat),
+				int(farBank), int(dFar), 0, obs.ElimTradeDonorCost)
+		}
 		return // not a net win for batch either: reject
 	}
 
@@ -172,6 +187,11 @@ func (p *TradePlacer) tradeForVM(in *Input, pl *Placement, lat AppID, batchApps 
 	// bank; the donor shrinks by way+comp far and grows a way near. Bank
 	// capacity is conserved in both banks.
 	p.TradesAccepted++
+	if on {
+		in.Prov.Placed(obs.StageTrade, int(spec.VM), int(lat),
+			int(farBank), int(dFar), wayBytes+comp)
+		in.Prov.Score(obs.StageTrade, int(spec.VM), int(lat), hopGain-missCost)
+	}
 	pl.adjust(lat, nearBank, -wayBytes)
 	pl.adjust(lat, farBank, wayBytes+comp)
 	pl.adjust(donor, farBank, -(wayBytes + comp))

@@ -77,6 +77,12 @@ type Input struct {
 	// LatSizes holds the feedback controllers' current target allocation
 	// (bytes) for each latency-critical application.
 	LatSizes map[AppID]float64
+	// Prov, when non-nil, receives placement decision provenance: which
+	// candidate banks each placer considered and why losers were
+	// eliminated. Nil (the default) is the zero-overhead path — placers
+	// hoist in.Prov.Enabled() and skip all record building when off, so
+	// disabled runs stay allocation-free and byte-identical.
+	Prov *obs.ProvRecorder
 }
 
 // Validate checks internal consistency; placers call it on entry.

@@ -66,6 +66,10 @@ type Options struct {
 	// Metrics also set, every run samples its registry into TS once per
 	// epoch. Shared and merged exactly like the sinks above.
 	TS *tsdb.DB
+	// Prov is the placement-provenance sink (schema v3, -provenance): every
+	// run's placers record why each VM/app landed where it did. Shared and
+	// cell-merged exactly like Events.
+	Prov *obs.EventLog
 	// Spans, when set, times simulator phases (placement, epoch model,
 	// per-cell execution) on the wall clock. Unlike the sinks above it is
 	// concurrency-safe, so one Spans is shared by every cell as-is rather
@@ -84,6 +88,9 @@ type Options struct {
 	// of the merged store after each figure's cell merge, feeding the
 	// /timeseries and /stream endpoints.
 	PublishTimeseries func([]tsdb.SeriesData)
+	// PublishProvenance receives each cell's decoded provenance records
+	// after the cell merge, in cell order, feeding the /explain endpoint.
+	PublishProvenance func([]obs.Event)
 	// Engine, when set, layers crash safety over every cell fan-out: the
 	// journal/resume protocol, keep-going failure isolation, per-cell
 	// watchdog deadlines, and single-cell repro mode (internal/sweep). Nil
@@ -133,6 +140,7 @@ func (o Options) systemConfig() system.Config {
 	}
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
 	cfg.TS = o.TS
+	cfg.Prov = o.Prov
 	cfg.Spans = o.Spans
 	cfg.Chaos = o.Chaos
 	cfg.CheckInvariants = o.CheckInvariants
@@ -186,14 +194,16 @@ func loadLabel(high bool) string {
 func runCells[T any](o Options, label string, n int, cell func(i int, co Options) T) []T {
 	s := sweep.Sinks{
 		Metrics: o.Metrics, Events: o.Events, Trace: o.Trace, TS: o.TS,
-		Spans: o.Spans, Progress: o.Progress,
+		Prov: o.Prov, Spans: o.Spans, Progress: o.Progress,
 		PublishMetrics: o.PublishMetrics, PublishTimeseries: o.PublishTimeseries,
+		PublishProvenance: o.PublishProvenance,
 	}
 	return sweep.Cells(o.Engine, s, label, o.Seed, o.Parallel, n,
 		func(i int, c *obs.Cell, ctx context.Context) T {
 			co := o
 			co.Parallel = 1 // cells never nest fan-out
 			co.Metrics, co.Events, co.Trace, co.TS = c.Metrics, c.Events, c.Trace, c.TS
+			co.Prov = c.Prov
 			if ctx != nil { // a nil ctx keeps any caller-installed o.Ctx
 				co.Ctx = ctx
 			}

@@ -26,15 +26,20 @@ type Cell struct {
 	// series registration order, so, like the other sinks, a parallel run's
 	// merged store dumps byte-identically to a serial run's.
 	TS *tsdb.DB
+	// Prov is the cell's private provenance sink (a second EventLog, schema
+	// v3 placement_decision/placement_valve records). Like Events it writes
+	// into an in-memory buffer replayed seq-renumbered at merge time.
+	Prov *EventLog
 
 	eventsBuf *bytes.Buffer
+	provBuf   *bytes.Buffer
 }
 
 // NewCell returns private sinks mirroring the enabled ones among the user's
-// metrics/events/trace/ts. The cell's EventLog writes into an in-memory
-// buffer replayed at merge time; its Trace accumulates events for
+// metrics/events/trace/ts/prov. The cell's EventLogs write into in-memory
+// buffers replayed at merge time; its Trace accumulates events for
 // lane-remapped merging and is never Closed.
-func NewCell(metrics *Registry, events *EventLog, trace *Trace, ts *tsdb.DB) *Cell {
+func NewCell(metrics *Registry, events *EventLog, trace *Trace, ts *tsdb.DB, prov *EventLog) *Cell {
 	c := &Cell{}
 	if metrics != nil {
 		c.Metrics = NewRegistry()
@@ -49,20 +54,39 @@ func NewCell(metrics *Registry, events *EventLog, trace *Trace, ts *tsdb.DB) *Ce
 	if ts != nil {
 		c.TS = tsdb.New(ts.Cap())
 	}
+	if prov != nil {
+		c.provBuf = &bytes.Buffer{}
+		c.Prov = NewEventLog(c.provBuf)
+	}
 	return c
+}
+
+// ProvBytes returns the cell's raw provenance JSONL (nil when the sink is
+// disabled). The bytes alias the cell's buffer; callers must not retain
+// them past the cell's lifetime.
+func (c *Cell) ProvBytes() []byte {
+	if c == nil || c.provBuf == nil {
+		return nil
+	}
+	return c.provBuf.Bytes()
 }
 
 // MergeInto folds the cell's sinks into the user's sinks. Callers merge
 // cells in index order exactly once; the first event-log error (from this
 // or an earlier append) is returned, matching EventLog's poison-on-error
 // convention.
-func (c *Cell) MergeInto(metrics *Registry, events *EventLog, trace *Trace, ts *tsdb.DB) error {
+func (c *Cell) MergeInto(metrics *Registry, events *EventLog, trace *Trace, ts *tsdb.DB, prov *EventLog) error {
 	if c == nil {
 		return nil
 	}
 	metrics.Merge(c.Metrics)
 	trace.Merge(c.Trace)
 	ts.Merge(c.TS)
+	if c.provBuf != nil {
+		if err := prov.AppendJSONL(c.provBuf.Bytes()); err != nil {
+			return err
+		}
+	}
 	if c.eventsBuf != nil {
 		return events.AppendJSONL(c.eventsBuf.Bytes())
 	}

@@ -34,6 +34,7 @@ type CellState struct {
 	Events       []byte // the cell's JSONL event-log bytes, verbatim
 	Trace        []byte // the cell's trace events as a JSON array
 	TS           []byte // the cell's tsdb dump (versioned JSON, carries capacity)
+	Prov         []byte // the cell's provenance JSONL bytes, verbatim
 	TraceNextPid int
 }
 
@@ -50,6 +51,9 @@ func (c *Cell) State() (CellState, error) {
 	}
 	if c.eventsBuf != nil {
 		st.Events = bytes.Clone(c.eventsBuf.Bytes())
+	}
+	if c.provBuf != nil {
+		st.Prov = bytes.Clone(c.provBuf.Bytes())
 	}
 	if c.Trace != nil {
 		b, err := json.Marshal(c.Trace.events)
@@ -117,6 +121,9 @@ func CellFromState(st CellState) (*Cell, error) {
 	}
 	if st.Events != nil {
 		c.eventsBuf = bytes.NewBuffer(st.Events)
+	}
+	if st.Prov != nil {
+		c.provBuf = bytes.NewBuffer(st.Prov)
 	}
 	if st.Trace != nil {
 		t := NewTrace(nil)

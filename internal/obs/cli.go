@@ -28,6 +28,7 @@ type CLI struct {
 	TracePath   string
 	MetricsPath string
 	TSDBPath    string
+	ProvPath    string
 	CPUProfile  string
 	MemProfile  string
 	SpansOn     bool
@@ -36,6 +37,7 @@ type CLI struct {
 	events   *EventLog
 	trace    *Trace
 	ts       *tsdb.DB
+	prov     *EventLog
 	spans    *Spans
 	files    []*os.File
 	cpuOn    bool
@@ -47,6 +49,7 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.TracePath, "tracefile", "", "write a Chrome trace-event file (loadable in Perfetto) to this path")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "dump the metric registry as text to this file after the run, or '-' for stderr")
 	fs.StringVar(&c.TSDBPath, "tsdb", "", "record per-epoch metric time series (flight recorder) and dump them as JSON to this file; implies metric collection")
+	fs.StringVar(&c.ProvPath, "provenance", "", "write the JSONL placement-provenance log (why every VM landed where it did) to this file")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 	fs.BoolVar(&c.SpansOn, "spans", false, "time simulator phases on the wall clock; summary to stderr at exit (implied by -status)")
@@ -86,6 +89,13 @@ func (c *CLI) Open() error {
 	if c.TSDBPath != "" {
 		c.ts = tsdb.New(tsdb.DefaultCapacity)
 	}
+	if c.ProvPath != "" {
+		f, err := c.create(c.ProvPath)
+		if err != nil {
+			return err
+		}
+		c.prov = NewEventLog(f)
+	}
 	if c.SpansOn {
 		c.spans = NewSpans()
 		if c.trace != nil {
@@ -118,6 +128,10 @@ func (c *CLI) Trace() *Trace { return c.trace }
 
 // TS returns the flight-recorder store (nil when -tsdb is unset).
 func (c *CLI) TS() *tsdb.DB { return c.ts }
+
+// Prov returns the placement-provenance log (nil when -provenance is
+// unset).
+func (c *CLI) Prov() *EventLog { return c.prov }
 
 // Spans returns the phase timers (nil when -spans is unset).
 func (c *CLI) Spans() *Spans { return c.spans }
@@ -153,6 +167,9 @@ func (c *CLI) Close() error {
 	}
 	if c.events != nil {
 		keep(c.events.Err())
+	}
+	if c.prov != nil {
+		keep(c.prov.Err())
 	}
 	if c.ts != nil {
 		if f, err := c.create(c.TSDBPath); err != nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -14,21 +15,27 @@ import (
 // v2: epoch and driver_epoch records gained a monotonic simulated
 // timestamp (time_us), epoch records gained worst_lat_norm, and the
 // slo_violation and reconfig_churn attribution records were added.
-const SchemaVersion = 2
+//
+// v3: the placement provenance records were added (placement_decision and
+// placement_valve, see provenance.go) — the per-VM/app "why did this land
+// here" rationale the provenance sink (-provenance) emits.
+const SchemaVersion = 3
 
 // Event types, one per payload struct. Every JSONL record is an envelope
 //
-//	{"v":2, "seq":N, "type":"<type>", "data":{...}}
+//	{"v":3, "seq":N, "type":"<type>", "data":{...}}
 //
 // where data's shape is fixed by the type (see the payload structs below
 // and the "Observability" section of README.md).
 const (
-	TypeRunStart      = "run_start"
-	TypeEpoch         = "epoch"
-	TypeSLOViolation  = "slo_violation"
-	TypeReconfigChurn = "reconfig_churn"
-	TypeDriverEpoch   = "driver_epoch"
-	TypeRunEnd        = "run_end"
+	TypeRunStart          = "run_start"
+	TypeEpoch             = "epoch"
+	TypeSLOViolation      = "slo_violation"
+	TypeReconfigChurn     = "reconfig_churn"
+	TypeDriverEpoch       = "driver_epoch"
+	TypeRunEnd            = "run_end"
+	TypePlacementDecision = "placement_decision"
+	TypePlacementValve    = "placement_valve"
 )
 
 // AppInfo describes one application in a run_start record.
@@ -401,6 +408,39 @@ func ValidateEvent(line []byte) (string, error) {
 		if r.Design == "" {
 			return env.Type, fmt.Errorf("obs: run_end missing design")
 		}
+	case TypePlacementDecision:
+		var d PlacementDecision
+		if err := strict(&d); err != nil {
+			return env.Type, fmt.Errorf("obs: bad placement_decision: %w", err)
+		}
+		if d.Epoch < 0 || d.Design == "" || d.VM < 0 || d.App < -1 || d.Truncated < 0 {
+			return env.Type, fmt.Errorf("obs: placement_decision malformed: %+v", d)
+		}
+		if !knownProvStage(d.Stage) {
+			return env.Type, fmt.Errorf("obs: placement_decision epoch %d vm %d has unknown stage %q", d.Epoch, d.VM, d.Stage)
+		}
+		for _, c := range d.Candidates {
+			if c.Bank < 0 || c.Dist < 0 {
+				return env.Type, fmt.Errorf("obs: placement_decision epoch %d vm %d has malformed candidate %+v", d.Epoch, d.VM, c)
+			}
+			if c.Eliminated == "" && c.TakenBytes <= 0 {
+				return env.Type, fmt.Errorf("obs: placement_decision epoch %d vm %d candidate bank %d neither taken nor eliminated", d.Epoch, d.VM, c.Bank)
+			}
+			if c.Eliminated != "" && !knownElimReason(c.Eliminated) {
+				return env.Type, fmt.Errorf("obs: placement_decision epoch %d vm %d has unknown elimination reason %q", d.Epoch, d.VM, c.Eliminated)
+			}
+		}
+	case TypePlacementValve:
+		var v PlacementValve
+		if err := strict(&v); err != nil {
+			return env.Type, fmt.Errorf("obs: bad placement_valve: %w", err)
+		}
+		if v.Epoch < 0 || v.Design == "" || v.VM < -1 || v.Attempt < 0 {
+			return env.Type, fmt.Errorf("obs: placement_valve malformed: %+v", v)
+		}
+		if !knownProvValve(v.Valve) {
+			return env.Type, fmt.Errorf("obs: placement_valve epoch %d has unknown valve %q", v.Epoch, v.Valve)
+		}
 	default:
 		return env.Type, fmt.Errorf("obs: unknown event type %q", env.Type)
 	}
@@ -433,27 +473,55 @@ type Event struct {
 	Data json.RawMessage
 }
 
+// DecodeEvents streams a JSONL event log record-at-a-time, calling fn for
+// every decoded envelope. Unlike DecodeEventLog it never materializes the
+// whole log, so cmd/report can walk multi-GB event files in constant
+// memory. Each Event's Data aliases a per-line buffer that is NOT reused,
+// so fn may retain it. It rejects unknown schema versions and malformed
+// lines but does not re-validate payloads; run ValidateEventLog first when
+// provenance is untrusted. A non-nil error from fn aborts the walk and is
+// returned verbatim.
+func DecodeEvents(r io.Reader, fn func(Event) error) error {
+	// bufio.Reader rather than bufio.Scanner: provenance records carry
+	// candidate lists that can exceed Scanner's 64 KiB token cap.
+	br := bufio.NewReaderSize(r, 1<<16)
+	for i := 1; ; i++ {
+		line, err := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var env envelope
+			if jerr := json.Unmarshal(line, &env); jerr != nil {
+				return fmt.Errorf("obs: event log line %d: %w", i, jerr)
+			}
+			if env.V != SchemaVersion {
+				return fmt.Errorf("obs: event log line %d has schema v%d; this build reads v%d", i, env.V, SchemaVersion)
+			}
+			if env.Type == "" {
+				return fmt.Errorf("obs: event log line %d has no type", i)
+			}
+			if ferr := fn(Event{Seq: env.Seq, Type: env.Type, Data: env.Data}); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("obs: event log line %d: %w", i, err)
+		}
+	}
+}
+
 // DecodeEventLog parses a JSONL event log into decoded envelopes for
-// offline consumers (cmd/report). It rejects unknown schema versions and
-// malformed lines but does not re-validate payloads; run ValidateEventLog
-// first when provenance is untrusted.
+// offline consumers. Small-log convenience wrapper around DecodeEvents;
+// prefer DecodeEvents for anything that might not fit in memory.
 func DecodeEventLog(data []byte) ([]Event, error) {
 	var out []Event
-	for i, line := range bytes.Split(data, []byte("\n")) {
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
-		}
-		var env envelope
-		if err := json.Unmarshal(line, &env); err != nil {
-			return nil, fmt.Errorf("obs: event log line %d: %w", i+1, err)
-		}
-		if env.V != SchemaVersion {
-			return nil, fmt.Errorf("obs: event log line %d has schema v%d; this build reads v%d", i+1, env.V, SchemaVersion)
-		}
-		if env.Type == "" {
-			return nil, fmt.Errorf("obs: event log line %d has no type", i+1)
-		}
-		out = append(out, Event{Seq: env.Seq, Type: env.Type, Data: env.Data})
+	err := DecodeEvents(bytes.NewReader(data), func(e Event) error {
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchProvLog synthesizes a realistic provenance log: n reconfigurations
+// of an 8-VM workload, each VM decision carrying a candidate list with
+// eliminations — the record shape that makes provenance logs the largest
+// of the five sinks on long runs.
+func benchProvLog(n int) []byte {
+	var buf bytes.Buffer
+	r := NewProvRecorder(NewEventLog(&buf), "Jumanji",
+		[]string{"xapian", "mcf", "omnetpp", "lbm", "milc", "gcc", "x264", "moses"})
+	for epoch := 0; epoch < n; epoch++ {
+		r.StartEpoch(epoch, float64(epoch)*1e5)
+		for vm := 0; vm < 8; vm++ {
+			r.Decision(StageVMBanks, vm, -1, false, 4<<20)
+			for b := 0; b < 6; b++ {
+				r.Eliminated(StageVMBanks, vm, -1, b, b+1, 0, ElimCapacity)
+			}
+			r.Placed(StageVMBanks, vm, -1, 6, 1, 4<<20)
+			r.Score(StageVMBanks, vm, -1, 0.25)
+		}
+		r.Valve(ValveShrinkLatSizes, -1, 0, 0.9, "lat-crit demand over capacity")
+		r.Flush()
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkDecodeEvents measures the streaming JSONL decoder that
+// cmd/report and the statusz /explain pipeline sit on. The streaming case
+// is the one that matters operationally: DecodeEvents holds one line at a
+// time, so decode speed — not memory — is the only limit on how large a
+// provenance log the report renderer can consume. DecodeEventLog is the
+// convenience wrapper that materializes every envelope; compare the two to
+// see what the slice build adds.
+//
+//	go test -bench=DecodeEvents -benchmem ./internal/obs/
+func BenchmarkDecodeEvents(b *testing.B) {
+	log := benchProvLog(64)
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(int64(len(log)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := DecodeEvents(bytes.NewReader(log), func(Event) error {
+				n++
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("decoded no events")
+			}
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		b.SetBytes(int64(len(log)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			evs, err := DecodeEventLog(log)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(evs) == 0 {
+				b.Fatal("decoded no events")
+			}
+		}
+	})
+}

@@ -175,7 +175,7 @@ func TestEventLogAppendJSONL(t *testing.T) {
 
 func TestEventLogAppendJSONLNilAndErrors(t *testing.T) {
 	var l *EventLog
-	if err := l.AppendJSONL([]byte(`{"v":2,"seq":1,"type":"run_end","data":{"design":"x"}}`)); err != nil {
+	if err := l.AppendJSONL([]byte(`{"v":3,"seq":1,"type":"run_end","data":{"design":"x"}}`)); err != nil {
 		t.Fatalf("nil log append errored: %v", err)
 	}
 	var buf bytes.Buffer

@@ -202,18 +202,18 @@ func TestValidateEventRejections(t *testing.T) {
 	}{
 		{"not json", `{{`},
 		{"wrong version", `{"v":99,"seq":1,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
-		{"zero seq", `{"v":2,"seq":0,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
-		{"unknown type", `{"v":2,"seq":1,"type":"mystery","data":{}}`},
-		{"unknown payload field", `{"v":2,"seq":1,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0,"extra":1}}`},
-		{"empty design", `{"v":2,"seq":1,"type":"run_end","data":{"worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
-		{"bad action", `{"v":2,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":true,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"explode"}],"vulnerability":0}}`},
-		{"actions without reconfig", `{"v":2,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":false,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"hold"}],"vulnerability":0}}`},
+		{"zero seq", `{"v":3,"seq":0,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
+		{"unknown type", `{"v":3,"seq":1,"type":"mystery","data":{}}`},
+		{"unknown payload field", `{"v":3,"seq":1,"type":"run_end","data":{"design":"x","worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0,"extra":1}}`},
+		{"empty design", `{"v":3,"seq":1,"type":"run_end","data":{"worst_norm_tail":0,"batch_weighted_speedup":0,"vulnerability":0}}`},
+		{"bad action", `{"v":3,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":true,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"explode"}],"vulnerability":0}}`},
+		{"actions without reconfig", `{"v":3,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":false,"actions":[{"app":0,"name":"x","alloc_bytes":1,"delta_bytes":0,"action":"hold"}],"vulnerability":0}}`},
 		{"pre-timestamp epoch (v1 shape)", `{"v":1,"seq":1,"type":"epoch","data":{"epoch":0,"reconfigured":false,"vulnerability":0}}`},
-		{"negative time_us", `{"v":2,"seq":1,"type":"epoch","data":{"epoch":0,"time_us":-1,"reconfigured":false,"vulnerability":0,"worst_lat_norm":0}}`},
-		{"slo_violation under deadline", `{"v":2,"seq":1,"type":"slo_violation","data":{"epoch":0,"time_us":0,"app":0,"name":"x","design":"d","lat_norm":0.9,"slack_cycles":1,"alloc_bytes":1,"breakdown":{"base_cycles":0,"bank_cycles":0,"noc_cycles":0,"mem_cycles":0,"queue_cycles":0},"dominant":"mem"}}`},
-		{"slo_violation bad dominant", `{"v":2,"seq":1,"type":"slo_violation","data":{"epoch":0,"time_us":0,"app":0,"name":"x","design":"d","lat_norm":1.5,"slack_cycles":-1,"alloc_bytes":1,"breakdown":{"base_cycles":0,"bank_cycles":0,"noc_cycles":0,"mem_cycles":0,"queue_cycles":0},"dominant":"cosmic-rays"}}`},
-		{"reconfig_churn bad cause", `{"v":2,"seq":1,"type":"reconfig_churn","data":{"epoch":0,"time_us":0,"cause":"boredom","max_moved_fraction":0,"moved_bytes":0,"invalidated_lines":0,"apps_moved":0}}`},
-		{"reconfig_churn moved over 1", `{"v":2,"seq":1,"type":"reconfig_churn","data":{"epoch":0,"time_us":0,"cause":"periodic","max_moved_fraction":1.5,"moved_bytes":0,"invalidated_lines":0,"apps_moved":0}}`},
+		{"negative time_us", `{"v":3,"seq":1,"type":"epoch","data":{"epoch":0,"time_us":-1,"reconfigured":false,"vulnerability":0,"worst_lat_norm":0}}`},
+		{"slo_violation under deadline", `{"v":3,"seq":1,"type":"slo_violation","data":{"epoch":0,"time_us":0,"app":0,"name":"x","design":"d","lat_norm":0.9,"slack_cycles":1,"alloc_bytes":1,"breakdown":{"base_cycles":0,"bank_cycles":0,"noc_cycles":0,"mem_cycles":0,"queue_cycles":0},"dominant":"mem"}}`},
+		{"slo_violation bad dominant", `{"v":3,"seq":1,"type":"slo_violation","data":{"epoch":0,"time_us":0,"app":0,"name":"x","design":"d","lat_norm":1.5,"slack_cycles":-1,"alloc_bytes":1,"breakdown":{"base_cycles":0,"bank_cycles":0,"noc_cycles":0,"mem_cycles":0,"queue_cycles":0},"dominant":"cosmic-rays"}}`},
+		{"reconfig_churn bad cause", `{"v":3,"seq":1,"type":"reconfig_churn","data":{"epoch":0,"time_us":0,"cause":"boredom","max_moved_fraction":0,"moved_bytes":0,"invalidated_lines":0,"apps_moved":0}}`},
+		{"reconfig_churn moved over 1", `{"v":3,"seq":1,"type":"reconfig_churn","data":{"epoch":0,"time_us":0,"cause":"periodic","max_moved_fraction":1.5,"moved_bytes":0,"invalidated_lines":0,"apps_moved":0}}`},
 	}
 	for _, tc := range bad {
 		if _, err := ValidateEvent([]byte(tc.line)); err == nil {

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeProv decodes a provenance log into typed decisions and valves, in
+// stream order.
+func decodeProv(t *testing.T, data []byte) (ds []PlacementDecision, vs []PlacementValve) {
+	t.Helper()
+	evs, err := DecodeEventLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		switch ev.Type {
+		case TypePlacementDecision:
+			var d PlacementDecision
+			if err := json.Unmarshal(ev.Data, &d); err != nil {
+				t.Fatal(err)
+			}
+			ds = append(ds, d)
+		case TypePlacementValve:
+			var v PlacementValve
+			if err := json.Unmarshal(ev.Data, &v); err != nil {
+				t.Fatal(err)
+			}
+			vs = append(vs, v)
+		default:
+			t.Fatalf("unexpected event type %q in provenance log", ev.Type)
+		}
+	}
+	return ds, vs
+}
+
+func TestProvRecorderAccumulatesAndFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewEventLog(&buf)
+	r := NewProvRecorder(log, "Jumanji", []string{"xapian", "mcf"})
+	if !r.Enabled() {
+		t.Fatal("live recorder reports disabled")
+	}
+
+	r.StartEpoch(3, 3e5)
+	r.Decision(StageLatCrit, 0, 0, true, 2<<20)
+	r.Eliminated(StageLatCrit, 0, 0, 9, 4, 0, ElimSecurityDomain)
+	r.Placed(StageLatCrit, 0, 0, 1, 1, 2<<20)
+	r.Score(StageLatCrit, 0, 0, 0.125)
+	r.Valve(ValveBankMinStepUp, 1, 0, 0, "")
+	r.Decision(StageVMBanks, 1, -1, false, 4<<20)
+	r.Placed(StageVMBanks, 1, -1, 5, 2, 4<<20)
+	r.Flush()
+
+	ds, vs := decodeProv(t, buf.Bytes())
+	// Valves flush before decisions; decisions keep insertion order.
+	if len(vs) != 1 || vs[0].Valve != ValveBankMinStepUp || vs[0].VM != 1 {
+		t.Fatalf("valves = %+v", vs)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("decisions = %+v; want 2", ds)
+	}
+	d := ds[0]
+	if d.Design != "Jumanji" || d.Stage != StageLatCrit || d.Epoch != 3 || d.TimeUs != 3e5 {
+		t.Fatalf("decision envelope = %+v", d)
+	}
+	if d.Name != "xapian" || !d.LatencyCritical || d.Score != 0.125 {
+		t.Fatalf("decision = %+v; want named lat-crit app with score", d)
+	}
+	if len(d.Candidates) != 2 {
+		t.Fatalf("candidates = %+v; want eliminated + placed", d.Candidates)
+	}
+	if d.Candidates[0].Eliminated != ElimSecurityDomain || d.Candidates[0].Bank != 9 {
+		t.Fatalf("eliminated candidate = %+v", d.Candidates[0])
+	}
+	if d.Candidates[1].Eliminated != "" || d.Candidates[1].TakenBytes != 2<<20 || d.PlacedBytes != 2<<20 {
+		t.Fatalf("placed candidate = %+v (placed %g)", d.Candidates[1], d.PlacedBytes)
+	}
+	if ds[1].Name != "" || ds[1].App != -1 {
+		t.Fatalf("VM-level decision = %+v; want app -1 with no name", ds[1])
+	}
+
+	// Everything the recorder emits must survive strict validation.
+	counts, err := ValidateEventLog(buf.Bytes())
+	if err != nil {
+		t.Fatalf("recorder output fails validation: %v", err)
+	}
+	if counts[TypePlacementDecision] != 2 || counts[TypePlacementValve] != 1 {
+		t.Fatalf("validated counts = %v", counts)
+	}
+}
+
+func TestProvRecorderAttemptDiscardsDecisionsKeepsValves(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewProvRecorder(NewEventLog(&buf), "Jumanji", nil)
+	r.StartEpoch(0, 0)
+
+	r.Attempt()
+	r.Decision(StageVMBanks, 0, -1, false, 1)
+	r.Valve(ValveShrinkLatSizes, -1, 0, 0.9, "first attempt failed")
+
+	r.Attempt() // retry: decisions from the failed attempt vanish
+	r.Decision(StageVMBanks, 1, -1, false, 2)
+	r.Flush()
+
+	ds, vs := decodeProv(t, buf.Bytes())
+	if len(ds) != 1 || ds[0].VM != 1 {
+		t.Fatalf("decisions = %+v; want only the second attempt's", ds)
+	}
+	if len(vs) != 1 || vs[0].Attempt != 0 {
+		t.Fatalf("valves = %+v; want the first attempt's valve kept", vs)
+	}
+}
+
+func TestProvRecorderRegionAdoptTranslatesIDs(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewProvRecorder(NewEventLog(&buf), "Sharded(Jumanji)", []string{"a", "b", "c"})
+	r.StartEpoch(1, 1e5)
+
+	// Region 1 sees local app 0 = global app 2, local bank 0 = global bank 10.
+	sub := r.Region(1, func(la int) int { return la + 2 }, func(lb int) int { return lb + 10 })
+	sub.Decision(StageVMBanks, 7, 0, false, 1<<20)
+	sub.Eliminated(StageVMBanks, 7, 0, 1, 3, 0, ElimCapacity)
+	sub.Placed(StageVMBanks, 7, 0, 0, 2, 1<<20)
+	sub.Valve(ValveWayQuantumRescale, 7, 0, 0.5, "")
+	r.Adopt(sub)
+	r.Flush()
+
+	ds, vs := decodeProv(t, buf.Bytes())
+	if len(ds) != 1 || len(vs) != 1 {
+		t.Fatalf("adopted records = %d decisions, %d valves", len(ds), len(vs))
+	}
+	d := ds[0]
+	if d.App != 2 || d.Name != "c" || d.Region != 1 {
+		t.Fatalf("adopted decision = %+v; want global app 2 (c) in region 1", d)
+	}
+	if d.Candidates[0].Bank != 11 || d.Candidates[1].Bank != 10 {
+		t.Fatalf("adopted candidates = %+v; want global banks 11, 10", d.Candidates)
+	}
+}
+
+func TestProvRecorderTruncatesCandidateLists(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewProvRecorder(NewEventLog(&buf), "Jumanji", nil)
+	r.StartEpoch(0, 0)
+	r.Decision(StageVMBanks, 0, -1, false, 1)
+	over := 5
+	for b := 0; b < maxCandidatesPerDecision+over; b++ {
+		r.Eliminated(StageVMBanks, 0, -1, b, 1, 0, ElimDistance)
+	}
+	r.Flush()
+
+	ds, _ := decodeProv(t, buf.Bytes())
+	if len(ds[0].Candidates) != maxCandidatesPerDecision || ds[0].Truncated != over {
+		t.Fatalf("candidates = %d, truncated = %d; want %d and %d",
+			len(ds[0].Candidates), ds[0].Truncated, maxCandidatesPerDecision, over)
+	}
+	if _, err := ValidateEventLog(buf.Bytes()); err != nil {
+		t.Fatalf("truncated record fails validation: %v", err)
+	}
+}
+
+func TestValidateEventRejectsBadProvenance(t *testing.T) {
+	for _, tc := range []struct {
+		name, line string
+	}{
+		{"unknown stage", `{"v":3,"seq":1,"type":"placement_decision","data":{"epoch":0,"design":"J","stage":"bogus","vm":0,"app":-1,"region":-1}}`},
+		{"negative vm", `{"v":3,"seq":1,"type":"placement_decision","data":{"epoch":0,"design":"J","stage":"vm-banks","vm":-2,"app":-1,"region":-1}}`},
+		{"unknown elim reason", `{"v":3,"seq":1,"type":"placement_decision","data":{"epoch":0,"design":"J","stage":"vm-banks","vm":0,"app":-1,"region":-1,"candidates":[{"bank":0,"dist":0,"eliminated":"nope"}]}}`},
+		{"candidate neither placed nor eliminated", `{"v":3,"seq":1,"type":"placement_decision","data":{"epoch":0,"design":"J","stage":"vm-banks","vm":0,"app":-1,"region":-1,"candidates":[{"bank":0,"dist":0}]}}`},
+		{"unknown valve", `{"v":3,"seq":1,"type":"placement_valve","data":{"epoch":0,"design":"J","valve":"bogus","vm":-1}}`},
+	} {
+		if _, err := ValidateEvent([]byte(tc.line)); err == nil {
+			t.Errorf("%s was accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "placement") && !strings.Contains(err.Error(), "seq") {
+			t.Errorf("%s: unhelpful error %v", tc.name, err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package statusz
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"jumanji/internal/obs"
+)
+
+// provEvents builds a decoded provenance event slice the way the harness
+// does: by recording through a ProvRecorder and decoding its log.
+func provEvents(t *testing.T, record func(r *obs.ProvRecorder)) []obs.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	log := obs.NewEventLog(&buf)
+	r := obs.NewProvRecorder(log, "jumanji", []string{"xapian", "batch0"})
+	record(r)
+	if err := log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.DecodeEventLog(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	srv.PublishProvenance(provEvents(t, func(r *obs.ProvRecorder) {
+		r.StartEpoch(5, 5e5)
+		r.Decision(obs.StageVMBanks, 1, -1, false, 4e6)
+		r.Eliminated(obs.StageVMBanks, 1, -1, 3, 2, 0, obs.ElimSecurityDomain)
+		r.Placed(obs.StageVMBanks, 1, -1, 7, 1, 4e6)
+		r.Valve(obs.ValveShrinkLatSizes, -1, 1, 0.9, "did not fit")
+		r.Flush()
+	}))
+
+	code, ctype, body := get(t, "http://"+srv.Addr()+"/explain?vm=1&epoch=5")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/explain = %d %q: %s", code, ctype, body)
+	}
+	var got explainBody
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.VM != 1 || got.Epoch != 5 || len(got.Decisions) != 1 {
+		t.Fatalf("explain body = %+v", got)
+	}
+	d := got.Decisions[0]
+	if d.Stage != obs.StageVMBanks || len(d.Candidates) != 2 {
+		t.Fatalf("decision = %+v; want vm-banks with 2 candidates", d)
+	}
+	eliminated := 0
+	for _, c := range d.Candidates {
+		if c.Eliminated != "" {
+			eliminated++
+		}
+	}
+	if eliminated != 1 {
+		t.Fatalf("candidates = %+v; want one eliminated", d.Candidates)
+	}
+	// The run-wide valve (VM -1) shows up in every VM's rationale.
+	if len(got.Valves) != 1 || got.Valves[0].Valve != obs.ValveShrinkLatSizes {
+		t.Fatalf("valves = %+v; want the run-wide shrink valve", got.Valves)
+	}
+}
+
+func TestExplainDefaultsToNewestEpoch(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	srv.PublishProvenance(provEvents(t, func(r *obs.ProvRecorder) {
+		for _, epoch := range []int{2, 9} {
+			r.StartEpoch(epoch, float64(epoch)*1e5)
+			r.Decision(obs.StageVMBanks, 0, -1, false, 1e6)
+			r.Placed(obs.StageVMBanks, 0, -1, 0, 0, 1e6)
+			r.Flush()
+		}
+	}))
+
+	_, _, body := get(t, "http://"+srv.Addr()+"/explain?vm=0")
+	var got explainBody
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 9 {
+		t.Fatalf("default epoch = %d; want newest (9)", got.Epoch)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	for _, tc := range []struct {
+		url  string
+		code int
+	}{
+		{"/explain", http.StatusBadRequest},
+		{"/explain?vm=bogus", http.StatusBadRequest},
+		{"/explain?vm=0&epoch=-3", http.StatusBadRequest},
+		{"/explain?vm=0", http.StatusNotFound}, // nothing published yet
+		{"/explain?vm=0&epoch=7", http.StatusNotFound},
+	} {
+		if code, _, body := get(t, "http://"+srv.Addr()+tc.url); code != tc.code {
+			t.Errorf("%s = %d %q; want %d", tc.url, code, body, tc.code)
+		}
+	}
+}
+
+func TestExplainEvictsOldestKeys(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	srv.PublishProvenance(provEvents(t, func(r *obs.ProvRecorder) {
+		for epoch := 0; epoch <= maxExplainKeys; epoch++ {
+			r.StartEpoch(epoch, float64(epoch))
+			r.Decision(obs.StageVMBanks, 0, -1, false, 1e6)
+			r.Flush()
+		}
+	}))
+	if code, _, _ := get(t, "http://"+srv.Addr()+"/explain?vm=0&epoch=0"); code != http.StatusNotFound {
+		t.Errorf("oldest key survived past the bound (status %d)", code)
+	}
+	if code, _, _ := get(t, "http://"+srv.Addr()+"/explain?vm=0&epoch="+itoa(maxExplainKeys)); code != http.StatusOK {
+		t.Errorf("newest key missing (status %d)", code)
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+func TestPublishProvenanceNilServer(t *testing.T) {
+	var srv *Server
+	srv.PublishProvenance(nil) // must not panic
+	var c CLI
+	c.PublishProvenance(nil) // no server: must not panic
+}

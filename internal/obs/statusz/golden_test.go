@@ -1,0 +1,111 @@
+package statusz
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jumanji/internal/obs"
+	"jumanji/internal/obs/tsdb"
+	"jumanji/internal/parallel"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting it under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run with -update to rewrite):\ngot:\n%swant:\n%s", path, got, want)
+	}
+}
+
+// normalizeStatusz pins the /statusz document's volatile leaves — wall-clock
+// times, rates, and build stamps — so the rest of the document (its shape,
+// the build-info keys, the progress counts, the newest-64 alert history) is
+// golden-testable.
+func normalizeStatusz(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("/statusz not valid JSON: %v\n%s", err, body)
+	}
+	for _, k := range []string{"elapsed_seconds", "busy_seconds", "cells_per_second", "worker_utilization", "eta_seconds"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("/statusz missing %q:\n%s", k, body)
+		}
+		m[k] = 0
+	}
+	if _, ok := m["start_time"]; !ok {
+		t.Fatalf("/statusz missing start_time:\n%s", body)
+	}
+	m["start_time"] = "NORMALIZED"
+	info, ok := m["info"].(map[string]any)
+	if !ok {
+		t.Fatalf("/statusz missing info:\n%s", body)
+	}
+	if v, _ := info["go_version"].(string); v == "" {
+		t.Fatalf("/statusz info.go_version empty:\n%s", body)
+	}
+	info["go_version"] = "NORMALIZED"
+	// Test binaries may or may not carry VCS stamps; drop the field.
+	delete(info, "vcs_revision")
+	if spans, ok := m["spans"].([]any); ok {
+		for _, sp := range spans {
+			line := sp.(map[string]any)
+			line["mean_seconds"] = 0
+			line["total_seconds"] = 0
+		}
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func TestStatuszGolden(t *testing.T) {
+	var prog parallel.Progress
+	prog.Begin(10, 4)
+	for i := 0; i < 4; i++ {
+		prog.CellDone(2 * time.Millisecond)
+	}
+	spans := obs.NewSpans()
+	spans.Start("harness.cell").Stop()
+	srv := startTestServer(t, &prog, spans)
+
+	// 70 latency-critical series each crossing their deadline publishes 70
+	// slo-violation-onset alerts; /statusz keeps the newest maxAlerts (64),
+	// so the golden document starts at app06.
+	db := tsdb.New(8)
+	for i := 0; i < maxAlerts+6; i++ {
+		name := fmt.Sprintf("app%02d.lat_norm.p95", i)
+		db.Append(name, 0, 0.8)
+		db.Append(name, 1, 1.4)
+	}
+	srv.PublishTimeseries(db.Dump())
+
+	code, _, body := get(t, "http://"+srv.Addr()+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz status %d", code)
+	}
+	golden(t, "statusz.golden.json", normalizeStatusz(t, []byte(body)))
+}

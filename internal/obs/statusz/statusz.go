@@ -2,9 +2,10 @@
 // /metrics in Prometheus text format, /statusz as JSON (run config, build
 // info, cells done/total, worker utilization, ETA, anomaly alerts),
 // /healthz for liveness probes, /timeseries for flight-recorder window
-// queries, /stream for a live SSE feed of epoch samples and alerts, and
-// the standard /debug/pprof handlers. It exists because a multi-minute cmd/figures run is otherwise a
-// black box until it exits — the deterministic obs sinks only write after
+// queries, /stream for a live SSE feed of epoch samples and alerts,
+// /explain for live placement-provenance queries (why did VM N land where
+// it did), and the standard /debug/pprof handlers. It exists because a
+// multi-minute cmd/figures run is otherwise a black box until it exits — the deterministic obs sinks only write after
 // the run.
 //
 // The server never touches a live Registry: the deterministic sinks are
@@ -105,6 +106,10 @@ type Server struct {
 
 	hub hub
 
+	// explain indexes published provenance records for /explain (its own
+	// lock; see explain.go).
+	explain explainStore
+
 	ln  net.Listener
 	srv *http.Server
 }
@@ -125,6 +130,7 @@ func Start(addr string, info Info, progress *parallel.Progress, spans *obs.Spans
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/timeseries", s.handleTimeseries)
 	mux.HandleFunc("/stream", s.handleStream)
+	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -340,6 +346,10 @@ func (c *CLI) PublishMetrics(snaps []obs.MetricSnapshot) { c.server.PublishMetri
 // PublishTimeseries forwards a flight-recorder dump to the server; safe
 // with no server.
 func (c *CLI) PublishTimeseries(dump []tsdb.SeriesData) { c.server.PublishTimeseries(dump) }
+
+// PublishProvenance forwards a cell's decoded provenance events to the
+// server's /explain index; safe with no server.
+func (c *CLI) PublishProvenance(evs []obs.Event) { c.server.PublishProvenance(evs) }
 
 // Close stops the reporter and the server.
 func (c *CLI) Close() error {

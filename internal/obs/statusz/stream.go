@@ -12,42 +12,70 @@ import (
 // hub fans published flight-recorder activity out to /stream subscribers.
 // Broadcasts never block the publisher: a subscriber that cannot keep up
 // (its buffered channel is full) drops events rather than stalling the
-// run's merge points.
+// run's merge points, and is told how many it missed once it catches up
+// (the "dropped" SSE event), so a lossy window is visible instead of
+// silent.
 type hub struct {
 	mu   sync.Mutex
-	subs map[chan []byte]struct{}
+	subs map[*subscriber]struct{}
+}
+
+// subscriber is one /stream client's bounded queue plus the count of
+// events dropped since it last drained. dropped is guarded by the hub
+// lock; the serving goroutine claims it with takeDropped.
+type subscriber struct {
+	ch      chan []byte
+	dropped uint64
 }
 
 // subscriberBuffer bounds each /stream client's in-flight event queue; a
 // publish burst larger than this drops the overflow for that client only.
 const subscriberBuffer = 64
 
-func (h *hub) subscribe() chan []byte {
-	ch := make(chan []byte, subscriberBuffer)
+func (h *hub) subscribe() *subscriber {
+	sub := &subscriber{ch: make(chan []byte, subscriberBuffer)}
 	h.mu.Lock()
 	if h.subs == nil {
-		h.subs = make(map[chan []byte]struct{})
+		h.subs = make(map[*subscriber]struct{})
 	}
-	h.subs[ch] = struct{}{}
+	h.subs[sub] = struct{}{}
 	h.mu.Unlock()
-	return ch
+	return sub
 }
 
-func (h *hub) unsubscribe(ch chan []byte) {
+func (h *hub) unsubscribe(sub *subscriber) {
 	h.mu.Lock()
-	delete(h.subs, ch)
+	delete(h.subs, sub)
 	h.mu.Unlock()
+}
+
+// subscribers reports the registered subscriber count (the teardown
+// regression test polls it).
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
 }
 
 func (h *hub) broadcast(msg []byte) {
 	h.mu.Lock()
-	for ch := range h.subs {
+	for sub := range h.subs {
 		select {
-		case ch <- msg:
-		default: // slow subscriber: drop, never block the publisher
+		case sub.ch <- msg:
+		default: // slow subscriber: drop and count, never block the publisher
+			sub.dropped++
 		}
 	}
 	h.mu.Unlock()
+}
+
+// takeDropped claims the subscriber's drop count, resetting it.
+func (h *hub) takeDropped(sub *subscriber) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := sub.dropped
+	sub.dropped = 0
+	return n
 }
 
 // sseEvent renders one server-sent event frame.
@@ -88,15 +116,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Write(sseEvent("hello", map[string]string{"command": s.info.Command})) //nolint:errcheck
 	fl.Flush()
 
-	ch := s.hub.subscribe()
-	defer s.hub.unsubscribe(ch)
+	sub := s.hub.subscribe()
+	defer s.hub.unsubscribe(sub)
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case msg := <-ch:
+		case msg := <-sub.ch:
 			if _, err := w.Write(msg); err != nil {
 				return
+			}
+			if n := s.hub.takeDropped(sub); n > 0 {
+				// The queue overflowed while this client lagged; tell it how
+				// many events it missed before resuming the live feed.
+				if _, err := w.Write(sseEvent("dropped", map[string]uint64{"events": n})); err != nil {
+					return
+				}
 			}
 			fl.Flush()
 		}

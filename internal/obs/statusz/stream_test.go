@@ -203,3 +203,91 @@ func TestPublishTimeseriesNilServer(t *testing.T) {
 	var srv *Server
 	srv.PublishTimeseries(dumpWith(t, "a", 1)) // must not panic
 }
+
+func TestStreamDropAndCount(t *testing.T) {
+	var h hub
+	sub := h.subscribe()
+	// Overflow the bounded queue: the excess must be dropped and counted,
+	// never block the publisher.
+	for i := 0; i < subscriberBuffer+5; i++ {
+		h.broadcast([]byte("x"))
+	}
+	if n := h.takeDropped(sub); n != 5 {
+		t.Fatalf("dropped = %d; want 5", n)
+	}
+	if n := h.takeDropped(sub); n != 0 {
+		t.Fatalf("takeDropped did not reset: %d", n)
+	}
+	h.unsubscribe(sub)
+	if h.subscribers() != 0 {
+		t.Fatal("unsubscribe left the subscriber registered")
+	}
+}
+
+func TestStreamDroppedEventReachesClient(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+srv.Addr()+"/stream", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	readEvent(t, r) // hello
+
+	// Mark the subscriber as having lagged (the handler goroutine drains
+	// the queue concurrently, so overflowing it for real would race), then
+	// deliver one event: the handler must follow it with a "dropped"
+	// notification carrying the exact count.
+	srv.hub.mu.Lock()
+	for sub := range srv.hub.subs {
+		sub.dropped = 7
+	}
+	srv.hub.mu.Unlock()
+	srv.hub.broadcast(sseEvent("samples", []streamSample{{Series: "a", Epoch: 0}}))
+
+	if event, _ := readEvent(t, r); event != "samples" {
+		t.Fatalf("first event after lag = %q; want samples", event)
+	}
+	event, data := readEvent(t, r)
+	if event != "dropped" {
+		t.Fatalf("second event after lag = %q %q; want dropped", event, data)
+	}
+	var got struct {
+		Events uint64 `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(data), &got); err != nil || got.Events != 7 {
+		t.Fatalf("dropped event payload = %q (err %v); want events=7", data, err)
+	}
+}
+
+func TestStreamSubscriberTeardownNoLeak(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+srv.Addr()+"/stream", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(resp.Body)
+	readEvent(t, r) // hello: the handler is past subscribe()
+	if n := srv.hub.subscribers(); n != 1 {
+		t.Fatalf("subscribers after connect = %d; want 1", n)
+	}
+
+	// Dropping the client must unwind the handler goroutine and its hub
+	// registration; a leak here would pin every disconnected client's
+	// channel for the rest of the run.
+	cancel()
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.hub.subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber never unregistered after disconnect (%d left)", srv.hub.subscribers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

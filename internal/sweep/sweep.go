@@ -46,7 +46,10 @@ type Sinks struct {
 	// TS is the flight-recorder time-series store (internal/obs/tsdb); cells
 	// record per-epoch samples into private mirrors merged like the other
 	// deterministic sinks.
-	TS             *tsdb.DB
+	TS *tsdb.DB
+	// Prov is the placement-provenance sink (a second event log, schema v3);
+	// cells mirror it like Events and merge seq-renumbered in cell order.
+	Prov           *obs.EventLog
 	Spans          *obs.Spans
 	Progress       *parallel.Progress
 	PublishMetrics func([]obs.MetricSnapshot)
@@ -55,6 +58,11 @@ type Sinks struct {
 	// PublishMetrics: called from the coordinating goroutine, the dump is
 	// immutable plain data safe to hand across goroutines).
 	PublishTimeseries func([]tsdb.SeriesData)
+	// PublishProvenance, when set, receives each cell's decoded provenance
+	// records at every merge point, in cell-index order (same coordinating-
+	// goroutine contract as the other publish hooks). It powers the statusz
+	// /explain endpoint.
+	PublishProvenance func([]obs.Event)
 }
 
 // CellRef names one cell of one sweep: the sweep's label (e.g. "fig12") and
@@ -248,7 +256,7 @@ func cellsFast[T any](s Sinks, workers, n int, run func(i int, c *obs.Cell, ctx 
 	cells := make([]*obs.Cell, n)
 	out := parallel.Map(workers, n, func(i int) T {
 		t0 := time.Now()
-		cells[i] = obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS)
+		cells[i] = obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS, s.Prov)
 		res := run(i, cells[i], nil)
 		d := time.Since(t0)
 		s.Spans.Record("harness.cell", t0, d)
@@ -268,7 +276,7 @@ func cellsOnly[T any](e *Engine, s Sinks, label string, n int, run func(i int, c
 		panic(fmt.Errorf("sweep: cell %s:%d out of range (sweep %q has %d cells)", label, i, label, n))
 	}
 	s.Progress.Begin(1, 1)
-	c := obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS)
+	c := obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS, s.Prov)
 	if e.Chaos.Fires(chaos.CellPanic, int64(i), labelKey(label)) {
 		panic(fmt.Sprintf("chaos: injected panic in cell %s:%d", label, i))
 	}
@@ -347,7 +355,7 @@ func cellsFull[T any](e *Engine, s Sinks, label string, seed int64, workers, n i
 		} else {
 			end = wd.Begin(i, nil)
 		}
-		cells[i] = obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS)
+		cells[i] = obs.NewCell(s.Metrics, s.Events, s.Trace, s.TS, s.Prov)
 		res := run(i, cells[i], ctx)
 		end()
 		if e.Journal != nil {
@@ -408,8 +416,17 @@ func cellsFull[T any](e *Engine, s Sinks, label string, seed int64, workers, n i
 
 func mergeCells(s Sinks, cells []*obs.Cell) {
 	for _, c := range cells {
-		if err := c.MergeInto(s.Metrics, s.Events, s.Trace, s.TS); err != nil {
+		if err := c.MergeInto(s.Metrics, s.Events, s.Trace, s.TS, s.Prov); err != nil {
 			panic(fmt.Sprintf("sweep: merging cell sinks: %v", err))
+		}
+		if s.PublishProvenance != nil {
+			if raw := c.ProvBytes(); len(raw) > 0 {
+				evs, err := obs.DecodeEventLog(raw)
+				if err != nil {
+					panic(fmt.Sprintf("sweep: decoding cell provenance: %v", err))
+				}
+				s.PublishProvenance(evs)
+			}
 		}
 	}
 	if s.PublishMetrics != nil {

@@ -381,11 +381,11 @@ func TestSweepAllocGuard(t *testing.T) {
 	baseline := testing.AllocsPerRun(20, func() {
 		cells := make([]*obs.Cell, n)
 		parallel.Map(1, n, func(i int) int {
-			cells[i] = obs.NewCell(nil, nil, nil, nil)
+			cells[i] = obs.NewCell(nil, nil, nil, nil, nil)
 			return run(i, cells[i], nil)
 		})
 		for _, c := range cells {
-			if err := c.MergeInto(nil, nil, nil, nil); err != nil {
+			if err := c.MergeInto(nil, nil, nil, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -409,11 +409,11 @@ func BenchmarkSweepOverhead(b *testing.B) {
 		for k := 0; k < b.N; k++ {
 			cells := make([]*obs.Cell, n)
 			parallel.Map(1, n, func(i int) int {
-				cells[i] = obs.NewCell(nil, nil, nil, nil)
+				cells[i] = obs.NewCell(nil, nil, nil, nil, nil)
 				return run(i, cells[i], nil)
 			})
 			for _, c := range cells {
-				if err := c.MergeInto(nil, nil, nil, nil); err != nil {
+				if err := c.MergeInto(nil, nil, nil, nil, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

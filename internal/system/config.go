@@ -107,6 +107,13 @@ type Config struct {
 	Events  *obs.EventLog
 	Trace   *obs.Trace
 
+	// Prov is the placement-provenance sink (the fifth sink, schema v3):
+	// one placement_decision record per placed VM/app per reconfiguration,
+	// plus placement_valve records when fallback valves fire. Nil disables
+	// it; the placers then skip all record building (zero allocations,
+	// byte-identical placements — TestAllocGuardProvenance).
+	Prov *obs.EventLog
+
 	// TS is the flight-recorder time-series store. When both Metrics and TS
 	// are set, the run samples the registry into TS once per epoch
 	// (obs.Recorder): counter deltas, gauge values, and histogram

@@ -114,12 +114,24 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 
 	res := &RunResult{Design: placer.Name(), Apps: make([]AppResult, len(apps))}
 	observer := newRunObserver(&cfg, placer.Name(), apps, ctrls, epochs, warmup)
+	// Provenance recorder (fifth sink): one per run, handed to the placer
+	// through Input.Prov at every reconfiguration boundary and flushed right
+	// after, so records stream out in deterministic decision order. Nil when
+	// the sink is off — the placers then skip all record building.
+	var prov *obs.ProvRecorder
+	if cfg.Prov.Enabled() {
+		names := make([]string, len(apps))
+		for i, a := range apps {
+			names[i] = a.name
+		}
+		prov = obs.NewProvRecorder(cfg.Prov, placer.Name(), names)
+	}
 	latencies := make([][]float64, len(apps)) // post-warmup LC latencies
 	var (
-		sumIPC       = make([]float64, len(apps))
-		sumAlloc     = make([]float64, len(apps))
-		sumHops      = make([]float64, len(apps))
-		sumVuln      = make([]float64, len(apps))
+		sumIPC           = make([]float64, len(apps))
+		sumAlloc         = make([]float64, len(apps))
+		sumHops          = make([]float64, len(apps))
+		sumVuln          = make([]float64, len(apps))
 		counts           energy.Counts
 		measured         int
 		totalVulnW       float64
@@ -183,7 +195,10 @@ func run(cfg Config, wl Workload, placer core.Placer, epochs, warmup int, fixedL
 			// Rotate placement buffers: the placement from two
 			// reconfigurations ago is dead and becomes this epoch's scratch
 			// (the immediately previous one must survive for MovedFraction).
+			prov.StartEpoch(epoch, float64(epoch)*cfg.EpochSeconds*1e6)
+			in.Prov = prov
 			newPl := core.PlaceWithSpans(placer, in, spare, cfg.Spans)
+			prov.Flush()
 			if cfg.Chaos.Enabled() {
 				injectPlacementFault(&cfg, in, newPl, epoch)
 			}

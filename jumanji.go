@@ -197,6 +197,11 @@ type Options struct {
 	// per epoch: counter deltas, gauge values, and per-epoch histogram
 	// quantiles. Shared and merged deterministically like the sinks above.
 	TS *tsdb.DB
+	// Prov is the placement-provenance sink (schema v3, the fifth sink):
+	// every placer records candidate banks, scores, and the constraint
+	// that eliminated each losing candidate. Nil disables it at zero cost;
+	// shared and cell-merged deterministically like Events.
+	Prov *obs.EventLog
 	// Spans, when set, times simulator phases (placement, epoch model,
 	// per-run cells) on the wall clock. Unlike the sinks above it is
 	// concurrency-safe; one Spans is shared across parallel runs.
@@ -213,6 +218,10 @@ type Options struct {
 	// of the merged time-series store after each fan-out's merge, feeding
 	// live /timeseries and /stream endpoints.
 	PublishTimeseries func([]tsdb.SeriesData)
+	// PublishProvenance receives each cell's decoded provenance records
+	// after every fan-out's merge, in cell order, feeding the statusz
+	// /explain endpoint.
+	PublishProvenance func([]obs.Event)
 	// Engine, when set, layers crash safety over Compare's and
 	// TailVsAllocation's fan-outs (internal/sweep): a fsync'd journal of
 	// completed cells, resume from a prior journal, keep-going failure
@@ -275,6 +284,7 @@ func (o Options) systemConfig() system.Config {
 	cfg.Seed = o.Seed
 	cfg.Metrics, cfg.Events, cfg.Trace = o.Metrics, o.Events, o.Trace
 	cfg.TS = o.TS
+	cfg.Prov = o.Prov
 	cfg.Spans = o.Spans
 	cfg.Chaos = o.Chaos
 	cfg.CheckInvariants = o.CheckInvariants
@@ -525,8 +535,9 @@ func runInner(opts Options, wl Workload, d Design) (*Result, error) {
 func (o Options) sinks() sweep.Sinks {
 	return sweep.Sinks{
 		Metrics: o.Metrics, Events: o.Events, Trace: o.Trace, TS: o.TS,
-		Spans: o.Spans, Progress: o.Progress,
+		Prov: o.Prov, Spans: o.Spans, Progress: o.Progress,
 		PublishMetrics: o.PublishMetrics, PublishTimeseries: o.PublishTimeseries,
+		PublishProvenance: o.PublishProvenance,
 	}
 }
 
@@ -592,6 +603,7 @@ func Compare(opts Options, build func(Options) (Workload, error), designs ...Des
 			co := opts
 			co.Parallel = 1
 			co.Metrics, co.Events, co.Trace, co.TS = c.Metrics, c.Events, c.Trace, c.TS
+			co.Prov = c.Prov
 			if ctx != nil { // a nil ctx keeps any caller-installed opts.Ctx
 				co.Ctx = ctx
 			}
