@@ -1,0 +1,118 @@
+// Command jumanji-serve is the crash-tolerant experiment service: an
+// HTTP/JSON daemon that accepts experiment specs (design comparisons,
+// paper figures and tables), schedules them onto the crash-safe sweep
+// engine with admission control and fair-share queueing, and survives
+// kills: every admitted spec and completed cell is fsync'd, so a restart
+// with -resume finishes interrupted experiments from their journals with
+// byte-identical results.
+//
+// Endpoints:
+//
+//	POST /experiments            submit a spec; 202 queued, 200 deduped,
+//	                             429 (+Retry-After) overloaded, 503 draining
+//	GET  /experiments            list all experiments
+//	GET  /experiments/{id}       one experiment's status
+//	GET  /experiments/{id}/result terminal output (202 while unfinished)
+//	GET  /experiments/{id}/stream live SSE: state, progress, retry frames
+//	GET  /metrics                Prometheus counters (serve.*)
+//	GET  /statusz                queue/worker snapshot
+//	GET  /healthz                ok, or 503 while draining
+//
+// Signals: the first SIGINT/SIGTERM drains — admissions stop, in-flight
+// cells finish and journal, the queue is snapshotted — and exits 0; a
+// second signal aborts immediately with exit 130.
+//
+// Exit status: 0 after a clean drain, 1 on startup or shutdown errors,
+// 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jumanji/internal/chaos"
+	"jumanji/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8321", "listen address (use :0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this `file` (for scripts paired with -addr :0)")
+		stateDir  = flag.String("state", "", "durable state `directory` (specs, journals, results); required")
+		resume    = flag.Bool("resume", false, "recover prior state from -state: finished experiments serve from cache, unfinished ones resume from their journals")
+		maxQueue  = flag.Int("max-queue", 64, "admission queue bound; beyond it submissions get 429 + Retry-After")
+		perClient = flag.Int("max-per-client", 16, "per-client queued+running bound")
+		inFlight  = flag.Int("max-in-flight", 2, "experiments running concurrently (each runs its cells serially)")
+		retries   = flag.Int("retries", 2, "retry attempts after a degraded run, with capped exponential backoff")
+		backoff   = flag.Duration("backoff", 100*time.Millisecond, "first retry delay")
+		backCap   = flag.Duration("backoff-cap", 2*time.Second, "retry delay ceiling")
+		soft      = flag.Duration("cell-soft-timeout", 0, "log cells still running after this `duration` (0 = off)")
+		hard      = flag.Duration("cell-timeout", 0, "cancel cells still running after this `duration` (0 = off)")
+		chaosSpec = flag.String("chaos", "", "deterministic fault-injection `spec`, e.g. 'submit-malformed@0.5,serve-panic-cell=1'")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos injector's site hashing")
+		drainFor  = flag.Duration("drain-timeout", time.Minute, "bound on the graceful HTTP drain")
+	)
+	flag.Parse()
+	if *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "jumanji-serve: -state is required")
+		flag.Usage()
+		return 2
+	}
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		var err error
+		if inj, err = chaos.Parse(*chaosSpec, *chaosSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "jumanji-serve:", err)
+			return 2
+		}
+	}
+
+	s, err := serve.New(serve.Config{
+		Addr: *addr, StateDir: *stateDir, Resume: *resume,
+		MaxQueue: *maxQueue, MaxPerClient: *perClient, MaxInFlight: *inFlight,
+		Retries: *retries, BackoffBase: *backoff, BackoffCap: *backCap,
+		SoftTimeout: *soft, HardTimeout: *hard,
+		Chaos: inj, Log: os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jumanji-serve:", err)
+		return 1
+	}
+	if err := s.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "jumanji-serve:", err)
+		return 1
+	}
+	fmt.Printf("jumanji-serve: listening on http://%s (state %s)\n", s.Addr(), *stateDir)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "jumanji-serve:", err)
+			s.Close()
+			return 1
+		}
+	}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	fmt.Fprintln(os.Stderr, "jumanji-serve: draining (in-flight cells journal and finish; signal again to abort)")
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "jumanji-serve: second signal: aborting now")
+		os.Exit(130)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "jumanji-serve:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "jumanji-serve: drained cleanly")
+	return 0
+}

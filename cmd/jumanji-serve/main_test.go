@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"jumanji/internal/serve"
+)
+
+// TestMain doubles as the daemon entry point: the e2e tests re-exec this
+// test binary with JUMANJI_SERVE_CHILD=1 to get a real jumanji-serve
+// process they can SIGKILL — no separate build step, no stale binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("JUMANJI_SERVE_CHILD") == "1" {
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one child jumanji-serve process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startDaemon launches the re-exec'd daemon on an ephemeral port and waits
+// for it to publish its address.
+func startDaemon(t *testing.T, stateDir string, extra ...string) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-state", stateDir,
+	}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "JUMANJI_SERVE_CHILD=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return &daemon{cmd: cmd, base: "http://" + strings.TrimSpace(string(b))}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill() //nolint:errcheck
+			t.Fatal("daemon never published its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sigterm drains the daemon and asserts the documented clean exit.
+func (d *daemon) sigterm(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v (want status 0)", err)
+	}
+}
+
+// sigkill is the crash under test: no cleanup, no flush, no goodbye.
+func (d *daemon) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err == nil {
+		t.Fatal("SIGKILL'd daemon exited cleanly?")
+	}
+}
+
+func (d *daemon) submit(t *testing.T, spec map[string]any) (id string, deduped bool) {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+"/experiments", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var ack struct {
+		ID      string `json:"id"`
+		Deduped bool   `json:"deduped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return ack.ID, ack.Deduped
+}
+
+func (d *daemon) waitDone(t *testing.T, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/experiments/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch body.State {
+		case "done":
+			return
+		case "degraded", "failed":
+			t.Fatalf("experiment %s: %s (%s)", id, body.State, body.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("experiment %s never finished", id)
+}
+
+// e2eSpec is the experiment both phases run: all designs so the journal
+// has 8 serial cells — enough runway to land a SIGKILL mid-run.
+func e2eSpec() map[string]any {
+	return map[string]any{"type": "compare", "design": "all", "epochs": 8, "warmup": 2, "seed": 3}
+}
+
+// e2eFPH computes the state-file key the daemon will use for e2eSpec.
+func e2eFPH(t *testing.T) string {
+	t.Helper()
+	sp := &serve.Spec{Type: "compare", Design: "all", Epochs: 8, Warmup: 2, Seed: 3}
+	rn, ok := serve.Builtins().Lookup("compare")
+	if !ok {
+		t.Fatal("no compare runner")
+	}
+	if err := rn.Validate(sp); err != nil {
+		t.Fatal(err)
+	}
+	return serve.FPHash(sp.Fingerprint())
+}
+
+// TestKillAndRecover is the crash-recovery acceptance test: SIGKILL the
+// daemon mid-sweep, restart with -resume, and require the finished journal
+// and result files to be byte-identical to an uninterrupted run's.
+func TestKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemons")
+	}
+	fph := e2eFPH(t)
+
+	// Phase A: the uninterrupted reference.
+	refDir := t.TempDir()
+	ref := startDaemon(t, refDir)
+	refID, _ := ref.submit(t, e2eSpec())
+	ref.waitDone(t, refID)
+	ref.sigterm(t)
+	refJournal, err := os.ReadFile(filepath.Join(refDir, "journals", fph+".journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refResult, err := os.ReadFile(filepath.Join(refDir, "results", fph+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase B: submit, SIGKILL once the journal shows partial progress.
+	dir := t.TempDir()
+	d := startDaemon(t, dir)
+	id, _ := d.submit(t, e2eSpec())
+	jp := filepath.Join(dir, "journals", fph+".journal")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if b, err := os.ReadFile(jp); err == nil && bytes.Count(b, []byte("\n")) >= 2 {
+			break // header + at least one journalled cell: mid-run
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal never grew")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	d.sigkill(t)
+
+	// Restart over the same state directory: the spec was fsync'd at
+	// admission, so -resume must finish the experiment from its journal.
+	d2 := startDaemon(t, dir, "-resume")
+	d2.waitDone(t, id)
+	gotJournal, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotResult, err := os.ReadFile(filepath.Join(dir, "results", fph+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJournal, refJournal) {
+		t.Errorf("recovered journal differs from uninterrupted run (%d vs %d bytes)",
+			len(gotJournal), len(refJournal))
+	}
+	if !bytes.Equal(gotResult, refResult) {
+		t.Errorf("recovered result differs:\n--- recovered\n%s\n--- reference\n%s", gotResult, refResult)
+	}
+
+	// The recovery is visible in the liveness surface.
+	resp, err := http.Get(d2.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	for _, want := range []string{"serve_recovered_total 1", "serve_resumed_cells_total"} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics.String())
+		}
+	}
+
+	// And identical resubmission dedupes onto the recovered result.
+	id2, deduped := d2.submit(t, e2eSpec())
+	if id2 != id || !deduped {
+		t.Errorf("post-recovery resubmit: id %s deduped %v, want cache hit on %s", id2, deduped, id)
+	}
+	d2.sigterm(t)
+}
+
+// TestDrainExitsZero: the documented signal discipline — first SIGTERM
+// drains and exits 0 even with nothing running.
+func TestDrainExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemons")
+	}
+	d := startDaemon(t, t.TempDir())
+	if _, err := http.Get(d.base + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	d.sigterm(t)
+}
+
+// TestUsageExitsTwo: no -state is a usage error, exit 2.
+func TestUsageExitsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemons")
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "JUMANJI_SERVE_CHILD=1")
+	err := cmd.Run()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("no -state: %v, want exit 2", err)
+	}
+}

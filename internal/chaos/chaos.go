@@ -43,13 +43,34 @@ const (
 	ReconfigDelay Fault = "reconfig-delay"
 	// CellPanic panics a sweep cell before it runs.
 	CellPanic Fault = "panic-cell"
+
+	// The service-tier fault classes: injected into the jumanji-serve
+	// daemon (internal/serve) rather than the simulator, so the admission,
+	// retry, and degradation paths are exercised by the same seeded
+	// injector as the sim faults. Sites are keyed by submission/stream
+	// sequence numbers, so a given seed corrupts the same requests on
+	// every run.
+
+	// SubmitMalformed corrupts a submission body before decoding, so the
+	// daemon must answer 400 and keep serving.
+	SubmitMalformed Fault = "submit-malformed"
+	// SubmitDuplicateBurst replays an admitted spec several times through
+	// the submission path, so every duplicate must dedupe by fingerprint.
+	SubmitDuplicateBurst Fault = "submit-duplicate-burst"
+	// ClientDisconnectMidStream severs an experiment SSE stream after the
+	// first progress frame, as a flaky client would.
+	ClientDisconnectMidStream Fault = "client-disconnect-mid-stream"
+	// ServePanicCell panics inside the daemon's experiment worker, so one
+	// poisoned spec exercises retry/backoff without taking the daemon down.
+	ServePanicCell Fault = "serve-panic-cell"
 )
 
 // Faults lists every known fault class, sorted.
 func Faults() []Fault {
 	return []Fault{
-		CellPanic, CurveNaN, CurveNegative, CurveNonMonotone,
-		PlacementOverflow, ReconfigDelay, ReconfigDrop,
+		CellPanic, ClientDisconnectMidStream, CurveNaN, CurveNegative,
+		CurveNonMonotone, PlacementOverflow, ReconfigDelay, ReconfigDrop,
+		ServePanicCell, SubmitDuplicateBurst, SubmitMalformed,
 	}
 }
 

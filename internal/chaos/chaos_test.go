@@ -114,6 +114,67 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// Every fault class — including the service-tier classes the jumanji-serve
+// daemon injects at its submission/stream/worker sites — must survive a
+// Parse/String round trip in both arm forms, so repro commands rendered
+// from String() reconstruct the exact injector.
+func TestParseRoundTripAllFaults(t *testing.T) {
+	for _, f := range Faults() {
+		spec := string(f) + "@0.5"
+		in, err := Parse(spec, 7)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := in.String(); got != spec {
+			t.Errorf("String() = %q, want %q", got, spec)
+		}
+
+		spec = string(f) + "=3"
+		in, err = Parse(spec, 7)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if !in.Fires(f, 3) || in.Fires(f, 4) {
+			t.Errorf("%s: pinned arm fires at the wrong sites", f)
+		}
+		if got := in.String(); got != spec {
+			t.Errorf("String() = %q, want %q", got, spec)
+		}
+	}
+}
+
+// The service-tier faults decorrelate across sites like the sim faults:
+// a rate arm keyed by submission sequence must not fire everywhere.
+func TestServiceFaultSites(t *testing.T) {
+	in := New(3).Arm(SubmitMalformed, 0.5).Arm(ClientDisconnectMidStream, 0.5)
+	fired, disc := 0, 0
+	const n = 400
+	for seq := int64(0); seq < n; seq++ {
+		if in.Fires(SubmitMalformed, seq) {
+			fired++
+		}
+		if in.Fires(ClientDisconnectMidStream, seq) {
+			disc++
+		}
+	}
+	if fired == 0 || fired == n || disc == 0 || disc == n {
+		t.Fatalf("service faults fired %d/%d and %d/%d of sites; want a strict subset", fired, n, disc, n)
+	}
+	// ServePanicCell keyed by (seq, attempt) must allow a retry to pass at
+	// some site: the worker's backoff path is only reachable if the fault
+	// is not pinned to every attempt.
+	pan := New(3).Arm(ServePanicCell, 0.5)
+	varies := false
+	for seq := int64(0); seq < 50 && !varies; seq++ {
+		if pan.Fires(ServePanicCell, seq, 0) != pan.Fires(ServePanicCell, seq, 1) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("serve-panic-cell ignores the attempt key; retries could never succeed")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
 		"curve-nan",          // no rate or key

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Figures lists every figure number Render accepts, ascending.
+func Figures() []int { return []int{4, 5, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18, 19} }
+
+// Tables lists every table number RenderTableN accepts, ascending.
+func Tables() []int { return []int{1, 2, 3} }
+
+// Render regenerates one figure and writes its text rendering to w. It is
+// the library form of cmd/figures' dispatch, shared with the jumanji-serve
+// daemon so a submitted figure experiment produces bytes identical to the
+// command line's. Degraded sweeps propagate as the engine's control-flow
+// panics (*sweep.RunError), exactly as the FigNN functions themselves do.
+func Render(w io.Writer, fig int, o Options) error {
+	switch fig {
+	case 4:
+		Fig4(o).Render(w)
+	case 5:
+		RenderFig5(w, Fig5(o))
+	case 8:
+		RenderFig8(w, Fig8(o))
+	case 9:
+		RenderFig9(w, Fig9(o))
+	case 11:
+		Fig11(o).Render(w)
+	case 12:
+		Fig12(o).Render(w)
+	case 13:
+		Fig13(o).Render(w)
+	case 14:
+		RenderFig14(w, Fig14(o))
+	case 15:
+		RenderFig15(w, Fig15(o))
+	case 16:
+		RenderFig16(w, Fig16(o))
+	case 17:
+		RenderFig17(w, Fig17(o))
+	case 18:
+		RenderFig18(w, Fig18(o))
+	case 19:
+		RenderFig19(w, Fig19(o))
+	default:
+		return fmt.Errorf("no figure %d (figures: %v)", fig, Figures())
+	}
+	return nil
+}
+
+// RenderTableN regenerates one table into w; the library form of
+// cmd/figures' table dispatch.
+func RenderTableN(w io.Writer, table int, o Options) error {
+	switch table {
+	case 1:
+		RenderTable1(w, Table1(o))
+	case 2:
+		RenderTable2(w)
+	case 3:
+		RenderTable3(w)
+	default:
+		return fmt.Errorf("no table %d (tables: %v)", table, Tables())
+	}
+	return nil
+}

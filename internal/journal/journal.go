@@ -217,13 +217,28 @@ func (l *Log) Keys() []Key {
 	return keys
 }
 
+// AppendFile is the slice of *os.File the Writer needs. It exists so the
+// failure paths — ENOSPC on write, a dying disk on fsync — are testable
+// with a failing implementation instead of a real full filesystem.
+type AppendFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
 // Writer appends fsync'd cell records. Append is safe for concurrent use —
 // pooled workers journal each cell as it completes.
 type Writer struct {
 	mu  sync.Mutex
-	f   *os.File
+	f   AppendFile
 	err error
 }
+
+// NewWriter wraps an already-open AppendFile as a record writer, without
+// writing a header. It is the failure-injection seam: tests hand it a file
+// whose writes or fsyncs fail to exercise the ENOSPC paths. Production
+// journals come from Create/OpenAppend.
+func NewWriter(f AppendFile) *Writer { return &Writer{f: f} }
 
 // Create starts a fresh journal at path (truncating any previous file) bound
 // to the given Options fingerprint.
@@ -262,7 +277,10 @@ func OpenAppend(path string, l *Log) (*Writer, error) {
 
 // Append journals one completed cell and fsyncs. Errors are sticky: once an
 // append fails the writer refuses further records, so a full disk degrades to
-// "journal incomplete", never to interleaved garbage.
+// "journal incomplete", never to interleaved garbage. A failed append names
+// the cell whose record was lost — it is the caller's one chance to learn
+// that this specific cell must re-run after a crash — and the sticky error
+// keeps that first cell's label, so Close reports where durability ended.
 func (w *Writer) Append(label string, cell int, seed int64, payload []byte) error {
 	rec := record{Label: label, Cell: cell, Seed: seed, Payload: payload,
 		Sum: recordSum(label, cell, seed, payload)}
@@ -272,8 +290,8 @@ func (w *Writer) Append(label string, cell int, seed int64, payload []byte) erro
 		return w.err
 	}
 	if err := w.writeLineLocked(rec); err != nil {
-		w.err = err
-		return err
+		w.err = fmt.Errorf("journal: appending cell %s:%d: %w", label, cell, err)
+		return w.err
 	}
 	return nil
 }

@@ -2,9 +2,11 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -226,5 +228,82 @@ func TestNilLogAccessors(t *testing.T) {
 	}
 	if l.Len() != 0 {
 		t.Fatal("nil Log Len != 0")
+	}
+}
+
+// enospcFile is an appendFile whose write or fsync fails with ENOSPC after
+// accepting a configurable number of calls — the full-disk failure the
+// journal must surface, not swallow.
+type enospcFile struct {
+	writesLeft int // writes that succeed before ENOSPC
+	syncFails  bool
+	closed     bool
+}
+
+func (f *enospcFile) Write(p []byte) (int, error) {
+	if f.writesLeft <= 0 {
+		return 0, syscall.ENOSPC
+	}
+	f.writesLeft--
+	return len(p), nil
+}
+
+func (f *enospcFile) Sync() error {
+	if f.syncFails {
+		return syscall.ENOSPC
+	}
+	return nil
+}
+
+func (f *enospcFile) Close() error {
+	f.closed = true
+	return nil
+}
+
+// TestAppendENOSPC pins the failed-append contract: the error names the cell
+// whose record was lost (the caller's only chance to know that cell must
+// re-run after a crash), wraps the underlying ENOSPC, and is sticky — later
+// appends and Close keep reporting where durability ended.
+func TestAppendENOSPC(t *testing.T) {
+	w := &Writer{f: &enospcFile{writesLeft: 0}}
+	err := w.Append("fig12", 3, 1, []byte("payload"))
+	if err == nil {
+		t.Fatal("Append on a full disk succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("error %v does not wrap ENOSPC", err)
+	}
+	if !strings.Contains(err.Error(), "fig12:3") {
+		t.Errorf("error %v does not name the lost cell fig12:3", err)
+	}
+
+	// Sticky: a later append of a different cell reports the first failure,
+	// so the caller always learns the earliest record that was lost.
+	err2 := w.Append("fig12", 4, 1, []byte("payload"))
+	if err2 == nil {
+		t.Fatal("append after a failed append succeeded")
+	}
+	if !strings.Contains(err2.Error(), "fig12:3") {
+		t.Errorf("sticky error %v lost the first failed cell's label", err2)
+	}
+
+	// Close surfaces the same sticky error after closing the file.
+	cerr := w.Close()
+	if cerr == nil || !strings.Contains(cerr.Error(), "fig12:3") {
+		t.Errorf("Close() = %v, want the sticky fig12:3 append error", cerr)
+	}
+}
+
+// TestAppendFsyncError covers the other half of the durability path: the
+// write lands but fsync fails, which must surface identically — a record
+// that is not known durable is treated as lost.
+func TestAppendFsyncError(t *testing.T) {
+	w := &Writer{f: &enospcFile{writesLeft: 100, syncFails: true}}
+	err := w.Append("compare/jumanji", 0, 7, []byte("x"))
+	if err == nil {
+		t.Fatal("Append with failing fsync succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) || !strings.Contains(err.Error(), "compare/jumanji:0") {
+		t.Errorf("fsync error %v must wrap ENOSPC and name cell compare/jumanji:0", err)
 	}
 }

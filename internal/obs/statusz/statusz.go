@@ -18,6 +18,7 @@
 package statusz
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -104,7 +105,7 @@ type Server struct {
 	alerts    []tsdb.Alert
 	streamPos map[string]uint64
 
-	hub hub
+	hub Hub
 
 	// explain indexes published provenance records for /explain (its own
 	// lock; see explain.go).
@@ -112,6 +113,12 @@ type Server struct {
 
 	ln  net.Listener
 	srv *http.Server
+	// done is closed exactly once when the server begins shutting down;
+	// long-lived handlers (the /stream SSE loop) select on it so graceful
+	// Shutdown does not hang waiting for subscribers that would otherwise
+	// never return.
+	done     chan struct{}
+	downOnce sync.Once
 }
 
 // Start listens on addr (host:port; ":0" picks a free port — see Addr) and
@@ -123,7 +130,8 @@ func Start(addr string, info Info, progress *parallel.Progress, spans *obs.Spans
 		return nil, fmt.Errorf("statusz: listen %s: %w", addr, err)
 	}
 	fillBuildInfo(&info)
-	s := &Server{info: info, progress: progress, spans: spans, start: time.Now(), ln: ln}
+	s := &Server{info: info, progress: progress, spans: spans, start: time.Now(), ln: ln,
+		done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
@@ -144,12 +152,28 @@ func Start(addr string, info Info, progress *parallel.Progress, spans *obs.Spans
 // Addr returns the server's bound address (resolves ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down. Safe on a nil Server.
+// Close shuts the server down immediately, resetting in-flight
+// connections. Safe on a nil Server. Prefer Shutdown for a graceful exit.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.downOnce.Do(func() { close(s.done) })
 	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes, the SSE
+// subscriber loops are released (each client receives a final "shutdown"
+// frame and a clean connection close), and in-flight requests — a /metrics
+// scrape, a /statusz poll — drain normally instead of seeing a reset. ctx
+// bounds the drain, exactly as for http.Server.Shutdown. Safe on a nil
+// Server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.downOnce.Do(func() { close(s.done) })
+	return s.srv.Shutdown(ctx)
 }
 
 // PublishMetrics installs a registry snapshot for /metrics to serve. The
@@ -351,12 +375,23 @@ func (c *CLI) PublishTimeseries(dump []tsdb.SeriesData) { c.server.PublishTimese
 // server's /explain index; safe with no server.
 func (c *CLI) PublishProvenance(evs []obs.Event) { c.server.PublishProvenance(evs) }
 
-// Close stops the reporter and the server.
+// Close stops the reporter and gracefully drains the server: in-flight
+// /metrics scrapes complete and SSE subscribers get a clean close instead
+// of a connection reset. The drain is bounded; a wedged connection is
+// hard-closed after the grace period.
 func (c *CLI) Close() error {
 	if c.stop != nil {
 		close(c.stop)
 		c.wg.Wait()
 		c.stop = nil
 	}
-	return c.server.Close()
+	if c.server == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := c.server.Shutdown(ctx); err != nil {
+		return c.server.Close()
+	}
+	return nil
 }

@@ -9,55 +9,66 @@ import (
 	"jumanji/internal/obs/tsdb"
 )
 
-// hub fans published flight-recorder activity out to /stream subscribers.
-// Broadcasts never block the publisher: a subscriber that cannot keep up
-// (its buffered channel is full) drops events rather than stalling the
-// run's merge points, and is told how many it missed once it catches up
-// (the "dropped" SSE event), so a lossy window is visible instead of
-// silent.
-type hub struct {
+// Hub fans published activity out to SSE subscribers. Broadcasts never
+// block the publisher: a subscriber that cannot keep up (its buffered
+// channel is full) drops events rather than stalling the run's merge
+// points, and is told how many it missed once it catches up (the "dropped"
+// SSE event), so a lossy window is visible instead of silent.
+//
+// The zero Hub is ready to use. It is exported because it is the shared
+// /stream machinery: this package's flight-recorder feed and the
+// jumanji-serve daemon's per-experiment progress streams are both Hub
+// consumers.
+type Hub struct {
 	mu   sync.Mutex
-	subs map[*subscriber]struct{}
+	subs map[*Subscriber]struct{}
 }
 
-// subscriber is one /stream client's bounded queue plus the count of
-// events dropped since it last drained. dropped is guarded by the hub
-// lock; the serving goroutine claims it with takeDropped.
-type subscriber struct {
+// Subscriber is one SSE client's bounded queue plus the count of events
+// dropped since it last drained. dropped is guarded by the hub lock; the
+// serving goroutine claims it with TakeDropped.
+type Subscriber struct {
 	ch      chan []byte
 	dropped uint64
 }
 
-// subscriberBuffer bounds each /stream client's in-flight event queue; a
+// C is the subscriber's receive channel: complete SSE frames, in order.
+func (s *Subscriber) C() <-chan []byte { return s.ch }
+
+// subscriberBuffer bounds each SSE client's in-flight event queue; a
 // publish burst larger than this drops the overflow for that client only.
 const subscriberBuffer = 64
 
-func (h *hub) subscribe() *subscriber {
-	sub := &subscriber{ch: make(chan []byte, subscriberBuffer)}
+// Subscribe registers a new subscriber; pair with Unsubscribe.
+func (h *Hub) Subscribe() *Subscriber {
+	sub := &Subscriber{ch: make(chan []byte, subscriberBuffer)}
 	h.mu.Lock()
 	if h.subs == nil {
-		h.subs = make(map[*subscriber]struct{})
+		h.subs = make(map[*Subscriber]struct{})
 	}
 	h.subs[sub] = struct{}{}
 	h.mu.Unlock()
 	return sub
 }
 
-func (h *hub) unsubscribe(sub *subscriber) {
+// Unsubscribe removes a subscriber; its queue is abandoned.
+func (h *Hub) Unsubscribe(sub *Subscriber) {
 	h.mu.Lock()
 	delete(h.subs, sub)
 	h.mu.Unlock()
 }
 
-// subscribers reports the registered subscriber count (the teardown
-// regression test polls it).
-func (h *hub) subscribers() int {
+// Subscribers reports the registered subscriber count (the teardown
+// regression tests poll it).
+func (h *Hub) Subscribers() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.subs)
 }
 
-func (h *hub) broadcast(msg []byte) {
+// Broadcast enqueues one frame for every subscriber, dropping (and
+// counting) for any whose queue is full.
+func (h *Hub) Broadcast(msg []byte) {
 	h.mu.Lock()
 	for sub := range h.subs {
 		select {
@@ -69,8 +80,8 @@ func (h *hub) broadcast(msg []byte) {
 	h.mu.Unlock()
 }
 
-// takeDropped claims the subscriber's drop count, resetting it.
-func (h *hub) takeDropped(sub *subscriber) uint64 {
+// TakeDropped claims the subscriber's drop count, resetting it.
+func (h *Hub) TakeDropped(sub *Subscriber) uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := sub.dropped
@@ -78,8 +89,8 @@ func (h *hub) takeDropped(sub *subscriber) uint64 {
 	return n
 }
 
-// sseEvent renders one server-sent event frame.
-func sseEvent(event string, data any) []byte {
+// SSEEvent renders one server-sent event frame.
+func SSEEvent(event string, data any) []byte {
 	b, err := json.Marshal(data)
 	if err != nil {
 		b = []byte(`{}`)
@@ -102,7 +113,9 @@ const sampleBurstCap = 512
 
 // handleStream serves the live SSE feed: a "hello" event on subscribe
 // (so curl-based smoke tests observe a complete event without waiting for
-// run activity), then "samples" and "alert" events as merges publish.
+// run activity), then "samples" and "alert" events as merges publish. On
+// graceful shutdown the subscriber receives a final "shutdown" frame and a
+// clean connection close, never a reset mid-frame.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -113,23 +126,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	w.Write(sseEvent("hello", map[string]string{"command": s.info.Command})) //nolint:errcheck
+	w.Write(SSEEvent("hello", map[string]string{"command": s.info.Command})) //nolint:errcheck
 	fl.Flush()
 
-	sub := s.hub.subscribe()
-	defer s.hub.unsubscribe(sub)
+	sub := s.hub.Subscribe()
+	defer s.hub.Unsubscribe(sub)
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case msg := <-sub.ch:
+		case <-s.done:
+			w.Write(SSEEvent("shutdown", map[string]string{"reason": "server shutting down"})) //nolint:errcheck
+			fl.Flush()
+			return
+		case msg := <-sub.C():
 			if _, err := w.Write(msg); err != nil {
 				return
 			}
-			if n := s.hub.takeDropped(sub); n > 0 {
+			if n := s.hub.TakeDropped(sub); n > 0 {
 				// The queue overflowed while this client lagged; tell it how
 				// many events it missed before resuming the live feed.
-				if _, err := w.Write(sseEvent("dropped", map[string]uint64{"events": n})); err != nil {
+				if _, err := w.Write(SSEEvent("dropped", map[string]uint64{"events": n})); err != nil {
 					return
 				}
 			}
@@ -175,10 +192,10 @@ func (s *Server) PublishTimeseries(dump []tsdb.SeriesData) {
 		fresh = fresh[len(fresh)-sampleBurstCap:]
 	}
 	if len(fresh) > 0 {
-		s.hub.broadcast(sseEvent("samples", fresh))
+		s.hub.Broadcast(SSEEvent("samples", fresh))
 	}
 	for _, a := range alerts {
-		s.hub.broadcast(sseEvent("alert", a))
+		s.hub.Broadcast(SSEEvent("alert", a))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
@@ -205,21 +206,21 @@ func TestPublishTimeseriesNilServer(t *testing.T) {
 }
 
 func TestStreamDropAndCount(t *testing.T) {
-	var h hub
-	sub := h.subscribe()
+	var h Hub
+	sub := h.Subscribe()
 	// Overflow the bounded queue: the excess must be dropped and counted,
 	// never block the publisher.
 	for i := 0; i < subscriberBuffer+5; i++ {
-		h.broadcast([]byte("x"))
+		h.Broadcast([]byte("x"))
 	}
-	if n := h.takeDropped(sub); n != 5 {
+	if n := h.TakeDropped(sub); n != 5 {
 		t.Fatalf("dropped = %d; want 5", n)
 	}
-	if n := h.takeDropped(sub); n != 0 {
+	if n := h.TakeDropped(sub); n != 0 {
 		t.Fatalf("takeDropped did not reset: %d", n)
 	}
-	h.unsubscribe(sub)
-	if h.subscribers() != 0 {
+	h.Unsubscribe(sub)
+	if h.Subscribers() != 0 {
 		t.Fatal("unsubscribe left the subscriber registered")
 	}
 }
@@ -246,7 +247,7 @@ func TestStreamDroppedEventReachesClient(t *testing.T) {
 		sub.dropped = 7
 	}
 	srv.hub.mu.Unlock()
-	srv.hub.broadcast(sseEvent("samples", []streamSample{{Series: "a", Epoch: 0}}))
+	srv.hub.Broadcast(SSEEvent("samples", []streamSample{{Series: "a", Epoch: 0}}))
 
 	if event, _ := readEvent(t, r); event != "samples" {
 		t.Fatalf("first event after lag = %q; want samples", event)
@@ -274,7 +275,7 @@ func TestStreamSubscriberTeardownNoLeak(t *testing.T) {
 	}
 	r := bufio.NewReader(resp.Body)
 	readEvent(t, r) // hello: the handler is past subscribe()
-	if n := srv.hub.subscribers(); n != 1 {
+	if n := srv.hub.Subscribers(); n != 1 {
 		t.Fatalf("subscribers after connect = %d; want 1", n)
 	}
 
@@ -284,10 +285,60 @@ func TestStreamSubscriberTeardownNoLeak(t *testing.T) {
 	cancel()
 	resp.Body.Close()
 	deadline := time.Now().Add(10 * time.Second)
-	for srv.hub.subscribers() != 0 {
+	for srv.hub.Subscribers() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("subscriber never unregistered after disconnect (%d left)", srv.hub.subscribers())
+			t.Fatalf("subscriber never unregistered after disconnect (%d left)", srv.hub.Subscribers())
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShutdownDrainsStreamSubscribers is the graceful-shutdown regression
+// test: Shutdown must release /stream subscriber loops (each client gets a
+// final "shutdown" frame and a clean EOF, not a connection reset), return
+// within its context, and leave no subscriber registered.
+func TestShutdownDrainsStreamSubscribers(t *testing.T) {
+	srv := startTestServer(t, nil, nil)
+	resp, err := http.Get("http://" + srv.Addr() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	readEvent(t, r) // hello: the handler is registered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+
+	// The client observes an orderly end of stream: a complete "shutdown"
+	// frame, then EOF — never a mid-frame reset.
+	if event, _ := readEvent(t, r); event != "shutdown" {
+		t.Fatalf("final event = %q; want shutdown", event)
+	}
+	if _, err := r.ReadString('\n'); err != io.EOF {
+		t.Fatalf("after the shutdown frame: %v; want io.EOF", err)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v (a hanging SSE loop would surface as context.DeadlineExceeded)", err)
+	}
+	if n := srv.hub.Subscribers(); n != 0 {
+		t.Fatalf("subscribers after Shutdown = %d; want 0", n)
+	}
+
+	// Shutdown and Close are idempotent together (the CLI falls back from
+	// one to the other).
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+}
+
+// A nil server must accept Shutdown, matching Close's nil-safety.
+func TestShutdownNilServer(t *testing.T) {
+	var srv *Server
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Admission errors. The server maps both to 429 with a Retry-After hint;
+// they are distinct so /statusz and the rejection counter's log line can
+// say whether the service or one client is saturated.
+var (
+	// ErrQueueFull means the global admission queue is at capacity.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrClientSaturated means this client alone has hit its in-service cap
+	// (queued + running); other clients are still admissible.
+	ErrClientSaturated = errors.New("serve: client at per-client cap")
+)
+
+// clientAcct is one client's token accounting: how many experiments it has
+// waiting, executing, and completed. done is the fair-share history — the
+// scheduler favors clients that have consumed less service.
+type clientAcct struct {
+	queued, running, done int
+}
+
+// queue is the bounded fair-share admission queue. It is not
+// self-synchronized: the server owns it and calls it under its own mutex
+// (every operation is O(queue depth), trivially short).
+//
+// Scheduling: Pop returns the oldest item of the *least-served* client —
+// the one with the fewest running experiments, ties broken by fewest
+// completed, then by arrival order. A client that floods the queue
+// therefore gets at most its fair share: after its first experiment is
+// admitted, every other client's backlog is preferred until service
+// histories even out. Within one client, order is strictly FIFO.
+type queue struct {
+	max          int // global depth bound
+	maxPerClient int // per-client queued+running bound
+	items        []*Experiment
+	acct         map[string]*clientAcct
+}
+
+func newQueue(max, maxPerClient int) *queue {
+	return &queue{max: max, maxPerClient: maxPerClient, acct: make(map[string]*clientAcct)}
+}
+
+func (q *queue) client(key string) *clientAcct {
+	a := q.acct[key]
+	if a == nil {
+		a = &clientAcct{}
+		q.acct[key] = a
+	}
+	return a
+}
+
+// Push admits one experiment to the tail of its client's FIFO.
+func (q *queue) Push(e *Experiment) error {
+	if len(q.items) >= q.max {
+		return fmt.Errorf("%w (%d queued)", ErrQueueFull, len(q.items))
+	}
+	a := q.client(e.Spec.ClientKey())
+	if a.queued+a.running >= q.maxPerClient {
+		return fmt.Errorf("%w (%d in service for %q)", ErrClientSaturated,
+			a.queued+a.running, e.Spec.ClientKey())
+	}
+	a.queued++
+	q.items = append(q.items, e)
+	return nil
+}
+
+// Pop removes and returns the next experiment under fair-share order, or
+// nil when the queue is empty. The winner's accounting moves queued →
+// running; pair with Finished when the experiment completes.
+func (q *queue) Pop() *Experiment {
+	best := -1
+	for i, e := range q.items {
+		if best == -1 || q.less(e, q.items[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	e := q.items[best]
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	a := q.client(e.Spec.ClientKey())
+	a.queued--
+	a.running++
+	return e
+}
+
+// less orders two queued experiments: least-served client first, then
+// arrival order. Items of the same client always fall through to the
+// arrival-order tiebreak (their client fields are equal), keeping
+// per-client FIFO.
+func (q *queue) less(a, b *Experiment) bool {
+	ca, cb := q.client(a.Spec.ClientKey()), q.client(b.Spec.ClientKey())
+	if ca.running != cb.running {
+		return ca.running < cb.running
+	}
+	if ca.done != cb.done {
+		return ca.done < cb.done
+	}
+	return a.Seq < b.Seq
+}
+
+// Restore re-enqueues a recovered experiment, bypassing the admission
+// bounds: everything durably admitted before the crash must be runnable
+// after it, even if the configured caps have since shrunk.
+func (q *queue) Restore(e *Experiment) {
+	q.client(e.Spec.ClientKey()).queued++
+	q.items = append(q.items, e)
+}
+
+// Remove withdraws a still-queued experiment (an admission whose durable
+// record could not be written). No-op if the item is not queued.
+func (q *queue) Remove(e *Experiment) {
+	for i, it := range q.items {
+		if it == e {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			q.client(e.Spec.ClientKey()).queued--
+			return
+		}
+	}
+}
+
+// Finished retires one running experiment for the client, moving its token
+// to the service history that fair-share ordering consults.
+func (q *queue) Finished(clientKey string) {
+	a := q.client(clientKey)
+	a.running--
+	a.done++
+}
+
+// Depth is the number of queued (not yet admitted) experiments.
+func (q *queue) Depth() int { return len(q.items) }
+
+// IDs lists the queued experiment IDs in arrival order (the drain
+// snapshot's contents).
+func (q *queue) IDs() []string {
+	out := make([]string, len(q.items))
+	for i, e := range q.items {
+		out[i] = e.ID
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func qexp(seq uint64, client string) *Experiment {
+	return &Experiment{
+		ID: fmt.Sprintf("exp-%06d", seq), Seq: seq,
+		Spec: &Spec{Type: "compare", Client: client},
+	}
+}
+
+func TestQueueBounds(t *testing.T) {
+	q := newQueue(2, 10)
+	if err := q.Push(qexp(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qexp(2, "b")); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Push(qexp(3, "c"))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push over capacity: got %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueuePerClientCap(t *testing.T) {
+	q := newQueue(100, 2)
+	if err := q.Push(qexp(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qexp(2, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qexp(3, "a")); !errors.Is(err, ErrClientSaturated) {
+		t.Fatalf("client over cap: got %v, want ErrClientSaturated", err)
+	}
+	// The cap is per client: another client is still admissible.
+	if err := q.Push(qexp(4, "b")); err != nil {
+		t.Fatalf("other client rejected: %v", err)
+	}
+	// queued+running counts against the cap: popping one of a's items to
+	// running keeps a saturated.
+	if got := q.Pop(); got == nil {
+		t.Fatal("pop: got nil")
+	}
+	if err := q.Push(qexp(5, "a")); !errors.Is(err, ErrClientSaturated) {
+		t.Fatalf("running still counts: got %v, want ErrClientSaturated", err)
+	}
+	// Finishing one releases a token.
+	q.Finished("a")
+	if err := q.Push(qexp(6, "a")); err != nil {
+		t.Fatalf("after finish: %v", err)
+	}
+}
+
+// TestQueueFairShare: client a floods the queue before b arrives; the
+// scheduler must interleave b rather than serving a's whole backlog first.
+func TestQueueFairShare(t *testing.T) {
+	q := newQueue(100, 100)
+	for i := uint64(1); i <= 3; i++ {
+		if err := q.Push(qexp(i, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push(qexp(4, "b")); err != nil {
+		t.Fatal(err)
+	}
+
+	// First pop: both clients idle, arrival order wins -> a's first.
+	e := q.Pop()
+	if e.Seq != 1 {
+		t.Fatalf("pop 1: got seq %d, want 1 (arrival order among equals)", e.Seq)
+	}
+	// Second pop: a has one running, b none -> b's item jumps a's backlog.
+	e = q.Pop()
+	if e.Spec.Client != "b" {
+		t.Fatalf("pop 2: got client %q seq %d, want b (fair share)", e.Spec.Client, e.Seq)
+	}
+	// Both have one running: back to arrival order, a's seq 2.
+	e = q.Pop()
+	if e.Seq != 2 {
+		t.Fatalf("pop 3: got seq %d, want 2 (per-client FIFO)", e.Seq)
+	}
+	// Service history counts too: retire a's runs so a has done=1; with
+	// equal running, the client with less history goes first.
+	q.Finished("a")
+	q.Finished("a")
+	q.Finished("b")
+	if err := q.Push(qexp(5, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qexp(6, "b")); err != nil {
+		t.Fatal(err)
+	}
+	e = q.Pop()
+	if e.Spec.Client != "b" {
+		t.Fatalf("pop 4: got client %q, want b (a consumed more service)", e.Spec.Client)
+	}
+}
+
+func TestQueueRestoreBypassesBounds(t *testing.T) {
+	q := newQueue(1, 1)
+	q.Restore(qexp(1, "a"))
+	q.Restore(qexp(2, "a"))
+	q.Restore(qexp(3, "a"))
+	if q.Depth() != 3 {
+		t.Fatalf("depth after restore: got %d, want 3", q.Depth())
+	}
+	ids := q.IDs()
+	if len(ids) != 3 || ids[0] != "exp-000001" {
+		t.Fatalf("IDs: got %v", ids)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQueue(10, 10)
+	a, b := qexp(1, "a"), qexp(2, "a")
+	if err := q.Push(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(b); err != nil {
+		t.Fatal(err)
+	}
+	q.Remove(a)
+	if q.Depth() != 1 {
+		t.Fatalf("depth after remove: got %d, want 1", q.Depth())
+	}
+	if e := q.Pop(); e != b {
+		t.Fatalf("pop after remove: got %v", e.ID)
+	}
+	// Removing a non-queued item is a no-op.
+	q.Remove(a)
+}

@@ -1,0 +1,81 @@
+// Package serve is the crash-tolerant experiment service behind
+// cmd/jumanji-serve: an HTTP/JSON daemon that accepts experiment specs,
+// validates them against a registry of experiment types, and schedules them
+// onto the sweep engine with admission control, fair-share queueing,
+// retry/backoff, journal-backed crash recovery, and per-experiment SSE
+// progress streams.
+//
+// The service's durability contract is the journal's (internal/journal):
+// every admitted spec is fsync'd before the 202 goes out, every completed
+// cell is fsync'd as it finishes, and results are written atomically. A
+// SIGKILL therefore loses at most the cells in flight; a restart with
+// -resume re-enqueues every admitted-but-unfinished experiment and resumes
+// each from its own journal, producing results byte-identical to an
+// uninterrupted run. Experiments run their cells serially (one worker per
+// experiment) so journal record order — and thus the recovered journal's
+// bytes — is deterministic; the daemon's parallelism is across experiments
+// (Config.MaxInFlight), not within them.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Spec is one submitted experiment. Client is an accounting identity for
+// fair-share queueing and deliberately not part of the fingerprint: two
+// clients submitting the same experiment share one run.
+type Spec struct {
+	// Type selects the registered experiment type ("compare", "figure",
+	// "table"; see Registry).
+	Type string `json:"type"`
+	// Client attributes the submission for fair-share queueing and
+	// per-client admission caps. Empty submissions share the "anon" bucket.
+	Client string `json:"client,omitempty"`
+
+	// Compare experiments: which design(s) over which workload.
+	Design string `json:"design,omitempty"` // design name or "all"
+	LC     string `json:"lc,omitempty"`     // LC app, "mixed", or "datacenter"
+	Load   string `json:"load,omitempty"`   // "high" (default) or "low"
+	VMs    int    `json:"vms,omitempty"`    // 4 = standard case study
+
+	// Figure/table experiments: which figure or table, at what mix count.
+	Fig   int `json:"fig,omitempty"`
+	Table int `json:"table,omitempty"`
+	Mixes int `json:"mixes,omitempty"`
+
+	// Shared protocol scale. Zero values take the type's defaults
+	// (Runner.Validate normalizes them in place).
+	Epochs int   `json:"epochs,omitempty"`
+	Warmup int   `json:"warmup,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+}
+
+// ClientKey is the fair-share accounting bucket for this spec.
+func (sp *Spec) ClientKey() string {
+	if sp.Client == "" {
+		return "anon"
+	}
+	return sp.Client
+}
+
+// Fingerprint canonically encodes everything that determines the
+// experiment's result bytes — and nothing that doesn't. Client is excluded
+// (who asked doesn't change the answer), which is what makes the dedupe
+// cache safe: equal fingerprints may share one run and one result. It is
+// also the journal-header fingerprint, so a resumed journal from a
+// different spec is refused rather than merged. Call only on a normalized
+// spec (after Runner.Validate).
+func (sp *Spec) Fingerprint() string {
+	return fmt.Sprintf("serve|type=%s|design=%s|lc=%s|load=%s|vms=%d|fig=%d|table=%d|mixes=%d|epochs=%d|warmup=%d|seed=%d",
+		sp.Type, sp.Design, sp.LC, sp.Load, sp.VMs, sp.Fig, sp.Table, sp.Mixes, sp.Epochs, sp.Warmup, sp.Seed)
+}
+
+// FPHash is the fingerprint folded to a filesystem-safe name: journal and
+// result files are keyed by it, so identical resubmissions land on the
+// same files across daemon restarts.
+func FPHash(fingerprint string) string {
+	h := fnv.New64a()
+	h.Write([]byte(fingerprint))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// On-disk layout under Config.StateDir:
+//
+//	specs/<id>.json       one admitted spec, fsync'd before the 202 —
+//	                      the daemon's promise that a SIGKILL won't lose
+//	                      the submission
+//	journals/<fph>.journal the experiment's cell journal (internal/journal),
+//	                      keyed by fingerprint hash so resubmissions and
+//	                      restarts resume the same file
+//	results/<fph>.json    the terminal ResultDoc, written atomically
+//	                      (tmp + fsync + rename)
+//	queue.snapshot        the queued-but-unadmitted IDs at the last drain
+//	                      (informational; recovery derives the truth from
+//	                      specs minus results)
+//
+// Recovery scans specs/: an ID with a terminal result becomes a completed
+// experiment serving the dedupe cache; one without is re-enqueued and its
+// journal — if any — resumed, so only never-journalled cells re-run.
+
+// SpecDoc is the durable record of one admission.
+type SpecDoc struct {
+	ID   string `json:"id"`
+	Seq  uint64 `json:"seq"`
+	Spec *Spec  `json:"spec"`
+}
+
+// FailedCellDoc is one failed cell in a degraded result, with the command
+// that reproduces it in isolation.
+type FailedCellDoc struct {
+	Label string `json:"label"`
+	Cell  int    `json:"cell"`
+	Seed  int64  `json:"seed"`
+	Panic string `json:"panic"`
+	Repro string `json:"repro,omitempty"`
+}
+
+// ResultDoc is the durable terminal state of one experiment. It contains
+// no wall-clock fields: for a given spec the document is byte-identical
+// across runs, restarts, and crash recoveries — the property the
+// kill-and-recover test diffs for.
+type ResultDoc struct {
+	ID          string          `json:"id"`
+	Fingerprint string          `json:"fingerprint"`
+	Type        string          `json:"type"`
+	State       string          `json:"state"` // done | degraded | failed
+	Attempts    int             `json:"attempts"`
+	Output      string          `json:"output,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Failed      []FailedCellDoc `json:"failed,omitempty"`
+}
+
+// store owns the state directory.
+type store struct{ dir string }
+
+func openStore(dir string) (*store, error) {
+	for _, sub := range []string{"specs", "journals", "results"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) specPath(id string) string { return filepath.Join(st.dir, "specs", id+".json") }
+func (st *store) JournalPath(fph string) string {
+	return filepath.Join(st.dir, "journals", fph+".journal")
+}
+func (st *store) resultPath(fph string) string {
+	return filepath.Join(st.dir, "results", fph+".json")
+}
+func (st *store) snapshotPath() string { return filepath.Join(st.dir, "queue.snapshot") }
+
+// writeDurable writes path atomically and durably: the bytes are fsync'd
+// in a temp file, renamed into place, and the directory entry fsync'd, so
+// a crash leaves either the old file or the complete new one.
+func (st *store) writeDurable(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveSpec durably records one admission; it must succeed before the
+// client's 202 is sent.
+func (st *store) SaveSpec(doc *SpecDoc) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return st.writeDurable(st.specPath(doc.ID), append(b, '\n'))
+}
+
+// SaveResult durably records one terminal result, keyed by fingerprint
+// hash so resubmissions of the same spec find it.
+func (st *store) SaveResult(fph string, doc *ResultDoc) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return st.writeDurable(st.resultPath(fph), append(b, '\n'))
+}
+
+// LoadResult returns the stored terminal result for a fingerprint hash,
+// or (nil, nil) when none exists.
+func (st *store) LoadResult(fph string) (*ResultDoc, error) {
+	b, err := os.ReadFile(st.resultPath(fph))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc ResultDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("serve: result %s: %w", fph, err)
+	}
+	return &doc, nil
+}
+
+// SaveSnapshot records the queued IDs at drain time.
+func (st *store) SaveSnapshot(ids []string) error {
+	b, err := json.MarshalIndent(ids, "", "  ")
+	if err != nil {
+		return err
+	}
+	return st.writeDurable(st.snapshotPath(), append(b, '\n'))
+}
+
+// LoadSpecs returns every durably admitted spec, in submission (Seq)
+// order. Torn temp files from a crash mid-write are ignored (their
+// admission never acked).
+func (st *store) LoadSpecs() ([]*SpecDoc, error) {
+	dir := filepath.Join(st.dir, "specs")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var docs []*SpecDoc
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue // .tmp leftovers from a crash mid-admission
+		}
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var doc SpecDoc
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return nil, fmt.Errorf("serve: spec %s: %w", name, err)
+		}
+		if doc.Spec == nil {
+			return nil, fmt.Errorf("serve: spec %s: no spec body", name)
+		}
+		docs = append(docs, &doc)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Seq < docs[j].Seq })
+	return docs, nil
+}

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jumanji/internal/chaos"
@@ -98,14 +99,20 @@ type FailedCell struct {
 }
 
 // Report summarizes a run's degradations: failed cells, cells skipped by an
-// interrupt, cells replayed from the journal, and watchdog soft-deadline
-// firings. A zero report is a clean run.
+// interrupt, cells replayed from the journal, watchdog soft-deadline
+// firings, and journal records lost to append/fsync failures. A zero report
+// is a clean run.
 type Report struct {
 	Failed      []FailedCell
 	Skipped     []CellRef
 	Resumed     int
 	Stuck       int
 	Interrupted bool
+	// JournalErrors counts cells whose journal record was lost (encode or
+	// append/fsync failure — e.g. ENOSPC); JournalErr is the first such
+	// error, which names the first cell that must re-run after a crash.
+	JournalErrors int
+	JournalErr    string
 }
 
 // Degraded reports whether any cell failed or was skipped.
@@ -132,6 +139,10 @@ func (r *Report) WriteText(w io.Writer) {
 			refs[i] = s.String()
 		}
 		fmt.Fprintf(w, "skipped %d cells: %s\n", len(r.Skipped), strings.Join(refs, ", "))
+	}
+	if r.JournalErrors > 0 {
+		fmt.Fprintf(w, "journal lost %d cell record(s); a crash re-runs them (first: %s)\n",
+			r.JournalErrors, r.JournalErr)
 	}
 }
 
@@ -324,6 +335,21 @@ func cellsFull[T any](e *Engine, s Sinks, label string, seed int64, workers, n i
 
 	cells := make([]*obs.Cell, n)
 	var journalLost sync.Once
+	// recordJournalErr surfaces one lost journal record: counted (and the
+	// first error kept, with its cell label) in the report, logged once per
+	// sweep so a full disk does not spam a thousand-cell run.
+	recordJournalErr := func(err error) {
+		e.mu.Lock()
+		e.report.JournalErrors++
+		if e.report.JournalErr == "" {
+			e.report.JournalErr = err.Error()
+		}
+		e.mu.Unlock()
+		journalLost.Do(func() {
+			e.logf("sweep: %v; continuing without crash safety for affected cells", err)
+		})
+	}
+	var nJournalErrs atomic.Int64
 	out, failures, skipped := parallel.MapRecover(workers, n, e.Stop, !e.KeepGoing, func(i int) T {
 		t0 := time.Now()
 		if payload, ok := e.Resume.Get(label, i, seed); ok {
@@ -360,13 +386,13 @@ func cellsFull[T any](e *Engine, s Sinks, label string, seed int64, workers, n i
 		end()
 		if e.Journal != nil {
 			if payload, err := encodeCell(res, cells[i]); err != nil {
-				journalLost.Do(func() {
-					e.logf("sweep: cell %s:%d not journalled (%v); a crash re-runs it", label, i, err)
-				})
+				nJournalErrs.Add(1)
+				recordJournalErr(fmt.Errorf("cell %s:%d not journalled: %w", label, i, err))
 			} else if err := e.Journal.Append(label, i, seed, payload); err != nil {
-				journalLost.Do(func() {
-					e.logf("sweep: journal write failed (%v); continuing without crash safety", err)
-				})
+				// The journal's sticky error already names the first lost
+				// cell; count every affected cell here.
+				nJournalErrs.Add(1)
+				recordJournalErr(err)
 			}
 		}
 		d := time.Since(t0)
@@ -381,6 +407,13 @@ func cellsFull[T any](e *Engine, s Sinks, label string, seed int64, workers, n i
 		cells[f.Index] = nil
 	}
 	mergeCells(s, cells)
+
+	// Journal degradation lands on the shared registry only when it
+	// happened, so a healthy run's metrics stay byte-identical. The bump is
+	// on the coordinating goroutine — the registry is single-threaded.
+	if k := nJournalErrs.Load(); k > 0 && s.Metrics != nil {
+		s.Metrics.Counter("sweep.journal_errors").Add(uint64(k))
+	}
 
 	if len(failures) == 0 && len(skipped) == 0 {
 		return out

@@ -7,6 +7,7 @@ import (
 	"math"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -425,4 +426,43 @@ func BenchmarkSweepOverhead(b *testing.B) {
 			Cells(nil, Sinks{}, "bench", 1, 1, n, run)
 		}
 	})
+}
+
+// enospcJournal is a journal.AppendFile whose writes fail with ENOSPC — the
+// full-disk case the journal layer must surface, not swallow.
+type enospcJournal struct{}
+
+func (enospcJournal) Write([]byte) (int, error) { return 0, syscall.ENOSPC }
+func (enospcJournal) Sync() error               { return nil }
+func (enospcJournal) Close() error              { return nil }
+
+// A sweep whose journal dies mid-run must still complete (results are
+// computed in memory; only crash safety is lost) but has to say so: the
+// report counts every lost record and keeps the first error with its cell
+// label, and the shared registry gains the sweep.journal_errors counter.
+func TestJournalErrorSurfaces(t *testing.T) {
+	e := &Engine{Journal: journal.NewWriter(enospcJournal{}), KeepGoing: true}
+	out, metrics, _, _, rerr := runSweep(t, e, 2)
+	if rerr != nil {
+		t.Fatalf("journal failure must not fail the sweep's cells: %v", rerr)
+	}
+	wantRes(t, out)
+	rep := e.Report()
+	if rep.JournalErrors != nCells {
+		t.Fatalf("JournalErrors = %d, want %d", rep.JournalErrors, nCells)
+	}
+	if !strings.Contains(rep.JournalErr, "lab:") {
+		t.Errorf("JournalErr %q does not name the lost cell's label", rep.JournalErr)
+	}
+	if !strings.Contains(rep.JournalErr, "no space left") && !strings.Contains(rep.JournalErr, "ENOSPC") {
+		t.Errorf("JournalErr %q does not surface the underlying ENOSPC", rep.JournalErr)
+	}
+	if !strings.Contains(metrics, "sweep.journal_errors") {
+		t.Errorf("metrics output lacks sweep.journal_errors:\n%s", metrics)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "journal lost 6 cell record(s)") {
+		t.Errorf("WriteText output lacks the journal-degradation line:\n%s", buf.String())
+	}
 }
